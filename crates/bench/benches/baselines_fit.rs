@@ -1,0 +1,31 @@
+//! Criterion bench: baseline regressors vs M5' fit cost (experiment
+//! E10's training stage).
+
+use baselines::{CartConfig, KnnRegressor, OlsRegressor, RegressionTree};
+use criterion::{criterion_group, criterion_main, Criterion};
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = Suite::cpu2006().generate(&mut rng, 8_000, &GeneratorConfig::default());
+
+    let mut group = c.benchmark_group("baselines_fit");
+    group.sample_size(10);
+    group.bench_function("m5_8k", |b| {
+        b.iter(|| ModelTree::fit(&data, &M5Config::default().with_min_leaf(80)).unwrap())
+    });
+    group.bench_function("ols_8k", |b| b.iter(|| OlsRegressor::fit(&data).unwrap()));
+    group.bench_function("cart_8k", |b| {
+        b.iter(|| RegressionTree::fit(&data, CartConfig::default()).unwrap())
+    });
+    group.bench_function("knn_fit_8k", |b| {
+        b.iter(|| KnnRegressor::fit(&data, 15).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

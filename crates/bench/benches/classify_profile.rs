@@ -1,0 +1,32 @@
+//! Criterion bench: classifying samples through a tree and building the
+//! Table II/IV profile tables.
+
+use characterize::ProfileTable;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_classify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = Suite::cpu2006().generate(&mut rng, 20_000, &GeneratorConfig::default());
+    let tree = ModelTree::fit(&data, &M5Config::default().with_min_leaf(200)).unwrap();
+
+    let mut group = c.benchmark_group("classify_profile");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("classify_20k", |b| {
+        b.iter(|| {
+            (0..data.len())
+                .map(|i| tree.classify(data.sample(i)))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("profile_table_20k", |b| {
+        b.iter(|| ProfileTable::build(&tree, &data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: M5' training time vs sample count (the pipeline
+//! stage behind experiments E2/E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_m5");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000, 20_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Suite::cpu2006().generate(&mut rng, n, &GeneratorConfig::default());
+        let config = M5Config::default().with_min_leaf((n / 120).max(4));
+        group.bench_with_input(BenchmarkId::new("cpu2006", n), &data, |b, data| {
+            b.iter(|| ModelTree::fit(data, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: workload + counter-bank dataset generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_dataset");
+    group.throughput(Throughput::Elements(10_000));
+    for (name, suite) in [("cpu2006", Suite::cpu2006()), ("omp2001", Suite::omp2001())] {
+        group.bench_with_input(BenchmarkId::new(name, 10_000), &suite, |b, suite| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                suite.generate(&mut rng, 10_000, &GeneratorConfig::default())
+            })
+        });
+    }
+    // Oracle (noise-free) counters for comparison.
+    let mut oracle = GeneratorConfig::default();
+    oracle.counters.multiplexing_noise = false;
+    group.bench_function("cpu2006_oracle_counters", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            Suite::cpu2006().generate(&mut rng, 10_000, &oracle)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the Section VI statistical tests at paper-scale
+//! sample counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_stats::nonparametric::{levene_test, mann_whitney_u, LeveneCenter};
+use spec_stats::ttest::{two_sample_t_test, welch_t_test};
+
+fn bench_tests(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a: Vec<f64> = (0..100_000)
+        .map(|_| mathkit::sampling::normal(&mut rng, 0.96, 0.53))
+        .collect();
+    let b: Vec<f64> = (0..100_000)
+        .map(|_| mathkit::sampling::normal(&mut rng, 1.21, 0.60))
+        .collect();
+
+    let mut group = c.benchmark_group("hypothesis_tests");
+    group.bench_function("welch_t_100k", |bch| {
+        bch.iter(|| welch_t_test(&a, &b).unwrap())
+    });
+    group.bench_function("pooled_t_100k", |bch| {
+        bch.iter(|| two_sample_t_test(&a, &b).unwrap())
+    });
+    group.bench_function("mann_whitney_100k", |bch| {
+        bch.iter(|| mann_whitney_u(&a, &b).unwrap())
+    });
+    group.bench_function("levene_100k", |bch| {
+        bch.iter(|| levene_test(&a, &b, LeveneCenter::Median).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: prediction throughput (smoothed vs unsmoothed).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_predict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = Suite::cpu2006().generate(&mut rng, 10_000, &GeneratorConfig::default());
+    let smoothed = ModelTree::fit(&data, &M5Config::default().with_min_leaf(100)).unwrap();
+    let raw = ModelTree::fit(
+        &data,
+        &M5Config::default().with_min_leaf(100).with_smoothing(false),
+    )
+    .unwrap();
+    let probe = Suite::cpu2006().generate(&mut rng, 1_000, &GeneratorConfig::default());
+
+    let mut group = c.benchmark_group("predict");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    group.bench_function("smoothed", |b| b.iter(|| smoothed.predict_all(&probe)));
+    group.bench_function("unsmoothed", |b| b.iter(|| raw.predict_all(&probe)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

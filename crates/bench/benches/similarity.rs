@@ -1,0 +1,28 @@
+//! Criterion bench: Table III similarity matrix and subsetting.
+
+use characterize::{greedy_subset, kmeans_subset, ProfileTable, SimilarityMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let data = Suite::cpu2006().generate(&mut rng, 20_000, &GeneratorConfig::default());
+    let tree = ModelTree::fit(&data, &M5Config::default().with_min_leaf(200)).unwrap();
+    let table = ProfileTable::build(&tree, &data);
+
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("matrix_29x29", |b| {
+        b.iter(|| SimilarityMatrix::from_table(&table))
+    });
+    group.bench_function("greedy_subset_k6", |b| b.iter(|| greedy_subset(&table, 6)));
+    group.bench_function("kmeans_subset_k6", |b| {
+        b.iter(|| kmeans_subset(&table, 6, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

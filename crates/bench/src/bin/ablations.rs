@@ -1,0 +1,101 @@
+//! Ablation studies over the M5' design choices and the measurement
+//! substrate:
+//!
+//! * smoothing / pruning / attribute-elimination on vs off (5-fold CV);
+//! * multiplexed vs oracle counters (does PMU multiplexing noise matter?);
+//! * training-fraction sweep backing the paper's "a model trained using
+//!   only 10% of the data is transferable to the remaining data".
+
+use modeltree::{k_fold, M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_bench::{cpu2006_dataset, suite_tree_config, SEED_CPU2006, SEED_SPLIT};
+use spec_stats::PredictionMetrics;
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn cv_row(name: &str, data: &perfcounters::Dataset, config: &M5Config) {
+    let cv = k_fold(data, config, 5, SEED_SPLIT).expect("cv");
+    println!(
+        "  {name:<28} MAE {:.4}  RMSE {:.4}  C {:.4}  leaves {:.1}",
+        cv.mean_mae(),
+        cv.mean_rmse(),
+        cv.mean_correlation(),
+        cv.mean_leaves()
+    );
+}
+
+fn main() {
+    // A 20k subset keeps 5-fold CV fast while staying representative.
+    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
+    let data = Suite::cpu2006().generate(&mut rng, 20_000, &GeneratorConfig::default());
+    let base = suite_tree_config(data.len());
+
+    println!("Ablation 1: M5' design choices (5-fold CV on 20k CPU2006 samples)");
+    cv_row("full M5' (default)", &data, &base);
+    cv_row("no smoothing", &data, &base.with_smoothing(false));
+    cv_row("no pruning", &data, &base.with_prune(false));
+    cv_row(
+        "no attribute elimination",
+        &data,
+        &base.with_attribute_elimination(false),
+    );
+
+    println!("\nAblation 2: counter multiplexing noise");
+    let mut oracle_cfg = GeneratorConfig::default();
+    oracle_cfg.counters.multiplexing_noise = false;
+    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
+    let oracle = Suite::cpu2006().generate(&mut rng, 20_000, &oracle_cfg);
+    cv_row("multiplexed counters", &data, &base);
+    cv_row("oracle counters", &oracle, &base);
+    // Cross-substrate: train on oracle data, test on multiplexed data.
+    let tree = ModelTree::fit(&oracle, &base).expect("fit");
+    let m = PredictionMetrics::from_predictions(&tree.predict_all(&data), &data.cpis())
+        .expect("metrics");
+    println!("  oracle-trained on multiplexed test: {m}");
+
+    println!("\nAblation 3: training fraction (test = held-out remainder of 60k)");
+    let full = cpu2006_dataset();
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
+    let (pool, test) = full.split_random(&mut rng, 0.5);
+    for fraction in [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00] {
+        let (train, _) = pool.split_random(&mut rng, fraction);
+        let config = suite_tree_config(train.len());
+        let tree = ModelTree::fit(&train, &config).expect("fit");
+        let m = PredictionMetrics::from_predictions(&tree.predict_all(&test), &test.cpis())
+            .expect("metrics");
+        println!(
+            "  train {:>6} samples ({:>5.1}% of suite): C {:.4}  MAE {:.4}  leaves {}",
+            train.len(),
+            100.0 * fraction * 0.5,
+            m.correlation,
+            m.mae,
+            tree.n_leaves()
+        );
+    }
+    println!("\n(the paper's claim: 10% of the data already yields a transferable model)");
+
+    println!("\nAblation 4: platform drift (multi-threaded contention sweep)");
+    println!("  train OMP2001 model at contention 1.0; test on other contention levels");
+    let mut rng = StdRng::seed_from_u64(SEED_CPU2006 + 1);
+    let omp_base = Suite::omp2001().generate(&mut rng, 20_000, &GeneratorConfig::default());
+    let omp_tree = ModelTree::fit(&omp_base, &suite_tree_config(omp_base.len())).expect("fit");
+    for contention in [0.5, 0.75, 1.0, 1.5, 2.0] {
+        let mut cfg = GeneratorConfig::default();
+        cfg.cost = cfg.cost.with_contention(contention);
+        let mut rng = StdRng::seed_from_u64(SEED_CPU2006 + 2);
+        let shifted = Suite::omp2001().generate(&mut rng, 10_000, &cfg);
+        let m = PredictionMetrics::from_predictions(
+            &omp_tree.predict_all(&shifted),
+            &shifted.cpis(),
+        )
+        .expect("metrics");
+        println!(
+            "  contention {contention:>4.2}: C {:.4}  MAE {:.4}{}",
+            m.correlation,
+            m.mae,
+            if contention == 1.0 { "  <- training platform" } else { "" }
+        );
+    }
+    println!("(the paper: \"the results are specific to the architecture, platform, and");
+    println!(" compiler used\" — this quantifies how fast a model decays off-platform)");
+}

@@ -1,0 +1,52 @@
+//! Experiment E10 — model tree vs baseline regressors (the related-work
+//! comparison of the paper's reference \[15\]) on both suites.
+
+use baselines::{CartConfig, KnnRegressor, OlsRegressor, RegressionTree, Regressor};
+use modeltree::ModelTree;
+use perfcounters::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_bench::{cpu2006_dataset, omp2001_dataset, suite_tree_config, SEED_SPLIT};
+use spec_stats::PredictionMetrics;
+
+fn evaluate(name: &str, predictions: &[f64], test: &Dataset) {
+    let metrics =
+        PredictionMetrics::from_predictions(predictions, &test.cpis()).expect("non-empty");
+    println!("  {name:<22} {metrics}");
+}
+
+fn compare(suite_name: &str, data: &Dataset) {
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
+    let (train, test) = data.split_random(&mut rng, 0.5);
+    println!("{suite_name}: train {} / test {}", train.len(), test.len());
+
+    let tree = ModelTree::fit(&train, &suite_tree_config(train.len())).expect("fit");
+    evaluate("M5' model tree", &tree.predict_all(&test), &test);
+
+    let ols = OlsRegressor::fit(&train).expect("ols");
+    evaluate("global linear (OLS)", &ols.predict_all(&test), &test);
+
+    let cart = RegressionTree::fit(
+        &train,
+        CartConfig {
+            min_leaf: (train.len() / 240).max(4),
+            max_depth: 14,
+        },
+    )
+    .expect("cart");
+    evaluate("CART (constant leaves)", &cart.predict_all(&test), &test);
+
+    let knn = KnnRegressor::fit(&train, 15).expect("knn");
+    // k-NN is O(n) per query; evaluate on a subsample for tractability.
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT + 1);
+    let (test_small, _) = test.split_random(&mut rng, 2_000.0_f64.min(test.len() as f64) / test.len() as f64);
+    evaluate("k-NN (k=15, subsample)", &knn.predict_all(&test_small), &test_small);
+    println!();
+}
+
+fn main() {
+    println!("Model tree vs baselines (paper ref [15]: model trees match ANN/SVM accuracy");
+    println!("while staying interpretable; a single linear model cannot):\n");
+    compare("SPEC CPU2006", &cpu2006_dataset());
+    compare("SPEC OMP2001", &omp2001_dataset());
+}

@@ -1,0 +1,66 @@
+//! Experiment E13 — per-member transferability: is the *suite* model
+//! transferable to each *constituent benchmark*?
+//!
+//! The paper classifies each benchmark through the suite tree (Tables II
+//! and IV); this experiment asks the quantitative follow-up: how
+//! accurately does the suite model predict each member's CPI, under the
+//! same acceptance thresholds as Section VI? Benchmarks whose behavior
+//! classes are shared with the rest of the suite should pass easily;
+//! benchmarks with private behavior classes (trained on fewer of "their"
+//! samples) mark the suite model's weakest coverage.
+
+use modeltree::ModelTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_bench::{cpu2006_dataset, omp2001_dataset, suite_tree_config, SEED_SPLIT};
+use spec_stats::{AcceptanceThresholds, PredictionMetrics};
+use workloads::generator::{GeneratorConfig, Suite};
+
+fn member_table(suite: &Suite, data: &perfcounters::Dataset, seed: u64) {
+    // Train on a random half so member evaluations are out-of-sample.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (train, _) = data.split_random(&mut rng, 0.5);
+    let tree = ModelTree::fit(&train, &suite_tree_config(train.len())).expect("fit");
+    let thresholds = AcceptanceThresholds::default();
+
+    println!(
+        "{} — suite model ({} leaves) applied to fresh samples of each member:",
+        suite.name(),
+        tree.n_leaves()
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>9} {:>14}",
+        "benchmark", "C", "MAE", "mean CPI", "transferable?"
+    );
+    let mut worst: Option<(String, f64)> = None;
+    for bench in suite.benchmarks() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9c);
+        let member = suite
+            .generate_benchmark(&mut rng, bench.name(), 4_000, &GeneratorConfig::default())
+            .expect("member of suite");
+        let metrics =
+            PredictionMetrics::from_predictions(&tree.predict_all(&member), &member.cpis())
+                .expect("non-empty member set");
+        let ok = metrics.acceptable(&thresholds);
+        println!(
+            "{:<18} {:>8.4} {:>8.4} {:>9.3} {:>14}",
+            bench.name(),
+            metrics.correlation,
+            metrics.mae,
+            metrics.mean_actual,
+            if ok { "yes" } else { "NO" }
+        );
+        if worst.as_ref().is_none_or(|(_, m)| metrics.mae > *m) {
+            worst = Some((bench.name().to_owned(), metrics.mae));
+        }
+    }
+    if let Some((name, mae)) = worst {
+        println!("  hardest member: {name} (MAE {mae:.4})\n");
+    }
+}
+
+fn main() {
+    println!("Per-member transferability of the suite models\n");
+    member_table(&Suite::cpu2006(), &cpu2006_dataset(), SEED_SPLIT);
+    member_table(&Suite::omp2001(), &omp2001_dataset(), SEED_SPLIT + 1);
+}

@@ -1,0 +1,125 @@
+//! Machine-readable experiment report: runs the full pipeline on the
+//! canonical datasets and writes one JSON document summarizing every
+//! headline quantity (tree shapes, similarity pairs, transferability
+//! verdicts, baseline comparison) to stdout or a file.
+//!
+//! `cargo run --release -p spec-bench --bin report [output.json]`
+
+use baselines::{CartConfig, OlsRegressor, RegressionTree, Regressor};
+use characterize::{ProfileTable, SimilarityMatrix};
+use modeltree::ModelTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use spec_bench::{
+    cpu2006_dataset, fit_suite_tree, omp2001_dataset, suite_tree_config, SEED_CPU2006,
+    SEED_OMP2001, SEED_SPLIT, N_SAMPLES,
+};
+use spec_stats::PredictionMetrics;
+use transfer::{TransferConfig, TransferabilityReport};
+
+fn tree_summary(tree: &ModelTree, train_mae: f64) -> serde_json::Value {
+    json!({
+        "root_event": tree.root_split_event().map(|e| e.short_name()),
+        "n_leaves": tree.n_leaves(),
+        "n_nodes": tree.n_nodes(),
+        "depth": tree.depth(),
+        "train_mae": train_mae,
+        "event_importance": tree
+            .event_importance()
+            .into_iter()
+            .map(|(e, v)| json!({"event": e.short_name(), "importance": v}))
+            .collect::<Vec<_>>(),
+    })
+}
+
+fn main() {
+    let cpu = cpu2006_dataset();
+    let omp = omp2001_dataset();
+    let cpu_tree = fit_suite_tree(&cpu);
+    let omp_tree = fit_suite_tree(&omp);
+
+    // Characterization.
+    let cpu_table = ProfileTable::build(&cpu_tree, &cpu);
+    let matrix = SimilarityMatrix::from_table(&cpu_table);
+    let pair = |a: &str, b: &str| {
+        json!({
+            "a": a, "b": b,
+            "distance": matrix.distance_by_name(a, b).expect("benchmarks present"),
+        })
+    };
+
+    // Transferability (paper's 10% protocol).
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
+    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
+    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
+    let m5 = suite_tree_config(cpu_train.len());
+    let cpu_small = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
+    let omp_small = ModelTree::fit(&omp_train, &m5).expect("omp fit");
+    let config = TransferConfig::default();
+    let assess = |tree: &ModelTree,
+                  train: &perfcounters::Dataset,
+                  test: &perfcounters::Dataset,
+                  a: &str,
+                  b: &str| {
+        let report = TransferabilityReport::assess(tree, train, test, a, b, &config)
+            .expect("datasets large enough");
+        json!({
+            "train": a, "test": b,
+            "transferable": report.transferable(),
+            "hypothesis_transferable": report.hypothesis_transferable(),
+            "accuracy_transferable": report.accuracy_transferable(),
+            "t_datasets": report.hypothesis.cpi_datasets.statistic,
+            "t_predicted": report.hypothesis.cpi_predicted.statistic,
+            "correlation": report.metrics.correlation,
+            "mae": report.metrics.mae,
+        })
+    };
+
+    // Baselines on a 50/50 split.
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
+    let (btrain, btest) = cpu.split_random(&mut rng, 0.5);
+    let btree = ModelTree::fit(&btrain, &suite_tree_config(btrain.len())).expect("fit");
+    let ols = OlsRegressor::fit(&btrain).expect("ols");
+    let cart = RegressionTree::fit(&btrain, CartConfig::default()).expect("cart");
+    let eval = |preds: Vec<f64>| {
+        let m = PredictionMetrics::from_predictions(&preds, &btest.cpis()).expect("metrics");
+        json!({"correlation": m.correlation, "mae": m.mae, "rmse": m.rmse})
+    };
+
+    let report = json!({
+        "paper": "Characterization of SPEC CPU2006 and SPEC OMP2001 (ISPASS 2008)",
+        "seeds": {"cpu2006": SEED_CPU2006, "omp2001": SEED_OMP2001, "split": SEED_SPLIT},
+        "n_samples_per_suite": N_SAMPLES,
+        "figure1_cpu2006_tree": tree_summary(&cpu_tree, cpu_tree.mean_abs_error(&cpu)),
+        "figure2_omp2001_tree": tree_summary(&omp_tree, omp_tree.mean_abs_error(&omp)),
+        "table3_headline_pairs": [
+            pair("456.hmmer", "444.namd"),
+            pair("435.gromacs", "444.namd"),
+            pair("454.calculix", "447.dealII"),
+            pair("429.mcf", "444.namd"),
+            pair("429.mcf", "459.GemsFDTD"),
+            pair("444.namd", "459.GemsFDTD"),
+        ],
+        "section6_transferability": [
+            assess(&cpu_small, &cpu_train, &cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
+            assess(&cpu_small, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
+            assess(&omp_small, &omp_train, &omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
+            assess(&omp_small, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
+        ],
+        "baselines_cpu2006": {
+            "m5_model_tree": eval(btree.predict_all(&btest)),
+            "global_ols": eval(ols.predict_all(&btest)),
+            "cart": eval(cart.predict_all(&btest)),
+        },
+    });
+
+    let rendered = serde_json::to_string_pretty(&report).expect("serializable report");
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("writable output path");
+            eprintln!("report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

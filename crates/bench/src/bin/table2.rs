@@ -1,0 +1,13 @@
+//! Experiment E3 — regenerates Table II: sample distribution across
+//! linear models by SPEC CPU2006 benchmark (entries >= 20% starred).
+
+use characterize::ProfileTable;
+use spec_bench::{cpu2006_dataset, fit_suite_tree};
+
+fn main() {
+    let data = cpu2006_dataset();
+    let tree = fit_suite_tree(&data);
+    let table = ProfileTable::build(&tree, &data);
+    println!("Table II: sample distribution across linear models by benchmark (percent)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,13 @@
+//! Experiment E6 — regenerates Table IV: sample distribution across
+//! linear models by SPEC OMP2001 benchmark.
+
+use characterize::ProfileTable;
+use spec_bench::{fit_suite_tree, omp2001_dataset};
+
+fn main() {
+    let data = omp2001_dataset();
+    let tree = fit_suite_tree(&data);
+    let table = ProfileTable::build(&tree, &data);
+    println!("Table IV: sample distribution across linear models by benchmark (percent)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,55 @@
+//! Benchmark characterization through a fitted model tree.
+//!
+//! Once a model tree is constructed, "it can be used to characterize
+//! other sets of sample data ... by classifying each sample based on the
+//! split points in the tree. When all samples are classified, a profile
+//! results, showing a distribution of the samples over the linear
+//! models" (paper, Section IV-B). This crate implements that pipeline:
+//!
+//! * [`profile`] — [`profile::LeafProfile`]s per benchmark
+//!   plus the suite-weighted and unweighted-average rows of Tables II
+//!   and IV.
+//! * [`similarity`] — the L1 (Manhattan) benchmark distance of
+//!   Equation 4 and the full pairwise matrix of Table III.
+//! * [`subset`] — the benchmark-subsetting application motivated by the
+//!   paper's related-work section: k-means over profile vectors and a
+//!   greedy max-coverage selector that picks representative benchmarks.
+//! * [`pca`] — the related-work comparator: PCA over standardized event
+//!   densities with k-center selection in the component space.
+//! * [`timeline`] — temporal analysis of behavior-class sequences from
+//!   time-ordered traces (runs, transitions, phase purity).
+//!
+//! # Examples
+//!
+//! ```
+//! use characterize::profile::ProfileTable;
+//! use modeltree::{M5Config, ModelTree};
+//! use perfcounters::{Dataset, EventId, Sample};
+//!
+//! let mut ds = Dataset::new();
+//! let a = ds.add_benchmark("a");
+//! let b = ds.add_benchmark("b");
+//! for i in 0..200 {
+//!     let (label, v, cpi) = if i % 2 == 0 { (a, 0.1, 0.5) } else { (b, 0.9, 2.0) };
+//!     let mut s = Sample::zeros(cpi);
+//!     s.set(EventId::Store, v);
+//!     ds.push(s, label);
+//! }
+//! let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+//! let table = ProfileTable::build(&tree, &ds);
+//! // The two benchmarks occupy different leaves almost entirely.
+//! let d = table.profile("a").unwrap().l1_distance(table.profile("b").unwrap());
+//! assert!(d > 0.9);
+//! ```
+
+pub mod pca;
+pub mod profile;
+pub mod similarity;
+pub mod subset;
+pub mod timeline;
+
+pub use profile::{LeafProfile, ProfileTable};
+pub use similarity::SimilarityMatrix;
+pub use pca::{pca_subset, PcaModel, PcaSubset};
+pub use subset::{greedy_subset, kmeans_subset, SubsetResult};
+pub use timeline::ClassTimeline;

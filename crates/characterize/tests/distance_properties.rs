@@ -1,0 +1,123 @@
+//! Metric properties of the L1 profile distance and consistency of the
+//! profile/similarity/subset pipeline.
+
+use characterize::profile::LeafProfile;
+use characterize::{greedy_subset, ProfileTable, SimilarityMatrix};
+use modeltree::{M5Config, ModelTree};
+use perfcounters::{Dataset, EventId, Sample};
+use proptest::prelude::*;
+
+fn profile_strategy(len: usize) -> impl Strategy<Value = LeafProfile> {
+    proptest::collection::vec(0.0f64..1.0, len).prop_filter_map(
+        "profiles need positive mass",
+        |v| {
+            if v.iter().sum::<f64>() > 0.0 {
+                Some(LeafProfile::from_shares(v))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn l1_is_a_metric(
+        a in profile_strategy(8),
+        b in profile_strategy(8),
+        c in profile_strategy(8),
+    ) {
+        // Non-negativity and bound.
+        let dab = a.l1_distance(&b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+        // Symmetry.
+        prop_assert!((dab - b.l1_distance(&a)).abs() < 1e-12);
+        // Identity of indiscernibles (distance to self is zero).
+        prop_assert!(a.l1_distance(&a) < 1e-12);
+        // Triangle inequality.
+        let dac = a.l1_distance(&c);
+        let dcb = c.l1_distance(&b);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+
+    #[test]
+    fn shares_normalized(a in profile_strategy(12)) {
+        let total: f64 = a.shares().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let dominant = a.dominant_lm();
+        prop_assert!((1..=12).contains(&dominant));
+        for lm in 1..=12 {
+            prop_assert!(a.share(lm) <= a.share(dominant) + 1e-12);
+        }
+    }
+}
+
+/// A multi-benchmark dataset with distinct regimes for cross-module
+/// consistency checks.
+fn workload() -> (ModelTree, Dataset) {
+    let mut ds = Dataset::new();
+    let names = ["low", "high", "mixed", "split"];
+    let labels: Vec<u32> = names.iter().map(|n| ds.add_benchmark(n)).collect();
+    for i in 0..1200 {
+        let which = i % 4;
+        let high = match which {
+            0 => false,
+            1 => true,
+            2 => i % 8 < 4,
+            _ => i % 16 < 4,
+        };
+        let (v, cpi) = if high { (0.9, 2.0) } else { (0.1, 0.5) };
+        let mut s = Sample::zeros(cpi);
+        s.set(EventId::Store, v);
+        ds.push(s, labels[which]);
+    }
+    let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+    (tree, ds)
+}
+
+#[test]
+fn suite_profile_is_weighted_mean_of_benchmarks() {
+    let (tree, ds) = workload();
+    let table = ProfileTable::build(&tree, &ds);
+    // Equal sample counts here, so Suite == Average == mean of profiles.
+    for lm in 1..=table.n_leaves() {
+        let mean: f64 = table
+            .profiles()
+            .iter()
+            .map(|p| p.share(lm))
+            .sum::<f64>()
+            / table.profiles().len() as f64;
+        assert!((table.suite().share(lm) - mean).abs() < 1e-9);
+        assert!((table.average().share(lm) - mean).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn subset_coverage_decreases_monotonically_in_k() {
+    let (tree, ds) = workload();
+    let table = ProfileTable::build(&tree, &ds);
+    let mut last = f64::INFINITY;
+    for k in 1..=4 {
+        let r = greedy_subset(&table, k);
+        assert!(
+            r.max_distance <= last + 1e-12,
+            "coverage worsened at k={k}: {} > {last}",
+            r.max_distance
+        );
+        last = r.max_distance;
+    }
+}
+
+#[test]
+fn matrix_distances_bounded_by_profile_support() {
+    let (tree, ds) = workload();
+    let table = ProfileTable::build(&tree, &ds);
+    let matrix = SimilarityMatrix::from_table(&table);
+    let d_lh = matrix.distance_by_name("low", "high").unwrap();
+    let d_lm = matrix.distance_by_name("low", "mixed").unwrap();
+    let d_ls = matrix.distance_by_name("low", "split").unwrap();
+    // "mixed" (50/50) sits between "low" (0/100) and "high" (100/0);
+    // "split" (25/75 toward low) is nearer to "low" than "mixed" is.
+    assert!(d_lm < d_lh);
+    assert!(d_ls < d_lm, "{d_ls} vs {d_lm}");
+}

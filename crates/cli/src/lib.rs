@@ -1,0 +1,527 @@
+//! Command implementations for the `specrepro` CLI.
+//!
+//! Each subcommand is a plain function from parsed arguments to a
+//! rendered `String`, so the whole surface is unit-testable without
+//! spawning processes. [`run`] dispatches a raw argument vector.
+//!
+//! ```text
+//! specrepro generate --suite cpu2006 --samples 60000 --seed 1 --out data.csv
+//! specrepro fit      --data data.csv --min-leaf 300 --out model.json --print summary
+//! specrepro predict  --model model.json --data other.csv
+//! specrepro classify --model model.json --data data.csv
+//! specrepro transfer --model model.json --train data.csv --test other.csv
+//! specrepro subset   --model model.json --data data.csv --k 6
+//! specrepro crossval --data data.csv --folds 5
+//! ```
+//!
+//! Dataset files are read and written by extension: `.csv`
+//! ([`perfcounters::dataset`]), `.arff` ([`perfcounters::arff`]), or
+//! `.json` (serde). Models are JSON.
+
+use characterize::{greedy_subset, kmeans_subset, ProfileTable, SimilarityMatrix};
+use modeltree::{display, k_fold, M5Config, ModelTree};
+use perfcounters::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_stats::PredictionMetrics;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use transfer::{TransferConfig, TransferabilityReport};
+use workloads::generator::{GeneratorConfig, Suite};
+
+/// A CLI failure: a message suitable for printing to stderr.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// Convenience alias for CLI results.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parsed `--flag value` arguments.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs from an argument list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a dangling flag or a token that is not a flag.
+    pub fn parse(args: &[String]) -> Result<Flags> {
+        let mut values = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got {arg:?}")))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError(format!("flag --{key} is missing a value")))?;
+            values.insert(key.to_owned(), value.clone());
+        }
+        Ok(Flags { values })
+    }
+
+    /// A required flag value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is absent.
+    pub fn required(&self, key: &str) -> Result<&str> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional flag value.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional flag parsed into `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when present but unparsable.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError(format!("cannot parse --{key} value {raw:?}"))),
+        }
+    }
+}
+
+/// Reads a dataset by file extension (`.csv`, `.arff`, `.json`).
+///
+/// # Errors
+///
+/// Fails on unknown extensions, missing files, or parse errors.
+pub fn read_dataset(path: &str) -> Result<Dataset> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let reader = BufReader::new(file);
+    match extension(path)? {
+        "csv" => Dataset::from_csv(reader).map_err(|e| CliError(format!("{path}: {e}"))),
+        "arff" => {
+            perfcounters::arff::from_arff(reader).map_err(|e| CliError(format!("{path}: {e}")))
+        }
+        "json" => {
+            serde_json::from_reader(reader).map_err(|e| CliError(format!("{path}: {e}")))
+        }
+        other => Err(CliError(format!("unsupported dataset extension .{other}"))),
+    }
+}
+
+/// Writes a dataset by file extension (`.csv`, `.arff`, `.json`).
+///
+/// # Errors
+///
+/// Fails on unknown extensions or I/O errors.
+pub fn write_dataset(data: &Dataset, path: &str) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+    let mut writer = BufWriter::new(file);
+    match extension(path)? {
+        "csv" => data
+            .to_csv(&mut writer)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+        "arff" => perfcounters::arff::to_arff(data, "spec_dataset", &mut writer)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+        "json" => serde_json::to_writer(&mut writer, data)
+            .map_err(|e| CliError(format!("{path}: {e}"))),
+        other => Err(CliError(format!("unsupported dataset extension .{other}"))),
+    }
+}
+
+fn extension(path: &str) -> Result<&str> {
+    Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .ok_or_else(|| CliError(format!("{path} has no file extension")))
+}
+
+fn read_model(path: &str) -> Result<ModelTree> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| CliError(format!("{path}: not a model tree: {e}")))
+}
+
+fn suite_by_name(name: &str) -> Result<Suite> {
+    match name {
+        "cpu2006" => Ok(Suite::cpu2006()),
+        "omp2001" => Ok(Suite::omp2001()),
+        other => Err(CliError(format!(
+            "unknown suite {other:?} (expected cpu2006 or omp2001)"
+        ))),
+    }
+}
+
+/// `generate`: synthesize a suite dataset to a file.
+///
+/// # Errors
+///
+/// Fails on bad flags or file errors.
+pub fn cmd_generate(flags: &Flags) -> Result<String> {
+    let suite = suite_by_name(flags.required("suite")?)?;
+    let samples: usize = flags.parsed_or("samples", 60_000)?;
+    let seed: u64 = flags.parsed_or("seed", 1)?;
+    let out = flags.required("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = suite.generate(&mut rng, samples, &GeneratorConfig::default());
+    write_dataset(&data, out)?;
+    Ok(format!(
+        "wrote {} samples from {} ({} benchmarks) to {out}",
+        data.len(),
+        suite.name(),
+        data.benchmark_count()
+    ))
+}
+
+/// `fit`: train an M5' model tree on a dataset file.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or degenerate training data.
+pub fn cmd_fit(flags: &Flags) -> Result<String> {
+    let data = read_dataset(flags.required("data")?)?;
+    let min_leaf: usize = flags.parsed_or("min-leaf", (data.len() / 200).max(4))?;
+    let sd_fraction: f64 = flags.parsed_or("sd-fraction", 0.05)?;
+    let config = M5Config::default()
+        .with_min_leaf(min_leaf)
+        .with_sd_fraction(sd_fraction);
+    let tree = ModelTree::fit(&data, &config).map_err(|e| CliError(e.to_string()))?;
+    if let Some(out) = flags.optional("out") {
+        let file = std::fs::File::create(out)
+            .map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
+        serde_json::to_writer(BufWriter::new(file), &tree)
+            .map_err(|e| CliError(format!("{out}: {e}")))?;
+    }
+    let mut report = String::new();
+    match flags.optional("print").unwrap_or("summary") {
+        "summary" => report.push_str(&display::render_summary(&tree)),
+        "tree" => report.push_str(&display::render_tree(&tree)),
+        "models" => report.push_str(&display::render_models(&tree)),
+        "importance" => report.push_str(&display::render_importance(&tree)),
+        "dot" => return Ok(display::render_dot(&tree)),
+        other => return Err(CliError(format!("unknown --print mode {other:?}"))),
+    }
+    let _ = write!(report, "training MAE: {:.4}", tree.mean_abs_error(&data));
+    Ok(report)
+}
+
+/// `predict`: apply a model to a dataset, report accuracy metrics.
+///
+/// # Errors
+///
+/// Fails on bad flags or file errors.
+pub fn cmd_predict(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let data = read_dataset(flags.required("data")?)?;
+    let predictions = tree.predict_all(&data);
+    if let Some(out) = flags.optional("out") {
+        let mut text = String::from("predicted,actual\n");
+        for (p, a) in predictions.iter().zip(data.cpis()) {
+            let _ = writeln!(text, "{p},{a}");
+        }
+        std::fs::write(out, text).map_err(|e| CliError(format!("{out}: {e}")))?;
+    }
+    let metrics = PredictionMetrics::from_predictions(&predictions, &data.cpis())
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(metrics.to_string())
+}
+
+/// `classify`: profile a dataset through a model (Table II/IV style).
+///
+/// # Errors
+///
+/// Fails on bad flags or file errors.
+pub fn cmd_classify(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let data = read_dataset(flags.required("data")?)?;
+    let table = ProfileTable::build(&tree, &data);
+    Ok(table.render())
+}
+
+/// `transfer`: assess transferability of a model from train to test.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or datasets too small to test.
+pub fn cmd_transfer(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let train = read_dataset(flags.required("train")?)?;
+    let test = read_dataset(flags.required("test")?)?;
+    let report = TransferabilityReport::assess(
+        &tree,
+        &train,
+        &test,
+        flags.required("train")?,
+        flags.required("test")?,
+        &TransferConfig::default(),
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    Ok(report.render())
+}
+
+/// `subset`: select representative benchmarks from a profiled dataset.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or `k` out of range.
+pub fn cmd_subset(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let data = read_dataset(flags.required("data")?)?;
+    let table = ProfileTable::build(&tree, &data);
+    let k: usize = flags.parsed_or("k", 6)?;
+    if k == 0 || k > table.names().len() {
+        return Err(CliError(format!(
+            "--k {k} out of range (1..={})",
+            table.names().len()
+        )));
+    }
+    let method = flags.optional("method").unwrap_or("greedy");
+    let result = match method {
+        "greedy" => greedy_subset(&table, k),
+        "kmeans" => kmeans_subset(&table, k, flags.parsed_or("seed", 1u64)?),
+        other => return Err(CliError(format!("unknown --method {other:?}"))),
+    };
+    let mut out = format!("{method} subset of {k}:\n");
+    for name in &result.selected {
+        let _ = writeln!(out, "  {name}");
+    }
+    let _ = write!(
+        out,
+        "coverage: max {:.1}%, mean {:.1}%",
+        100.0 * result.max_distance,
+        100.0 * result.mean_distance
+    );
+    Ok(out)
+}
+
+/// `similar`: print the most and least similar benchmark pairs.
+///
+/// # Errors
+///
+/// Fails on bad flags or file errors.
+pub fn cmd_similar(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let data = read_dataset(flags.required("data")?)?;
+    let k: usize = flags.parsed_or("pairs", 5)?;
+    let matrix = SimilarityMatrix::from_table(&ProfileTable::build(&tree, &data));
+    let mut out = String::from("most similar pairs:\n");
+    for (a, b, d) in matrix.most_similar_pairs(k) {
+        let _ = writeln!(out, "  {a:<18} {b:<18} {:.1}%", 100.0 * d);
+    }
+    out.push_str("most dissimilar pairs:\n");
+    for (a, b, d) in matrix.most_dissimilar_pairs(k) {
+        let _ = writeln!(out, "  {a:<18} {b:<18} {:.1}%", 100.0 * d);
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// `explain`: explain the prediction for one sample (by row index) of a
+/// dataset.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or an out-of-range row index.
+pub fn cmd_explain(flags: &Flags) -> Result<String> {
+    let tree = read_model(flags.required("model")?)?;
+    let data = read_dataset(flags.required("data")?)?;
+    let row: usize = flags.parsed_or("row", 0)?;
+    if row >= data.len() {
+        return Err(CliError(format!(
+            "--row {row} out of range (dataset has {} samples)",
+            data.len()
+        )));
+    }
+    let sample = data.sample(row);
+    let mut out = format!(
+        "sample {row} (benchmark {}, actual CPI {:.4}):\n",
+        data.benchmark_name(data.label(row)).unwrap_or("?"),
+        sample.cpi()
+    );
+    out.push_str(&tree.explain(sample).to_string());
+    Ok(out)
+}
+
+/// `stats`: per-event summary statistics of a dataset.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or an empty dataset.
+pub fn cmd_stats(flags: &Flags) -> Result<String> {
+    let data = read_dataset(flags.required("data")?)?;
+    let cpi = data
+        .cpi_summary()
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = format!(
+        "{} samples, {} benchmarks\n{:<12} {:>12} {:>12} {:>12} {:>12}\n",
+        data.len(),
+        data.benchmark_count(),
+        "metric",
+        "mean",
+        "sd",
+        "min",
+        "max"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12.5} {:>12.5} {:>12.5} {:>12.5}",
+        "CPI",
+        cpi.mean(),
+        cpi.std_dev(),
+        cpi.min(),
+        cpi.max()
+    );
+    for e in perfcounters::EventId::ALL {
+        let s = data
+            .summary(e)
+            .map_err(|err| CliError(err.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.5e} {:>12.5e} {:>12.5e} {:>12.5e}",
+            e.short_name(),
+            s.mean(),
+            s.std_dev(),
+            s.min(),
+            s.max()
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// `crossval`: k-fold cross-validation of the default configuration.
+///
+/// # Errors
+///
+/// Fails on bad flags, file errors, or invalid fold counts.
+pub fn cmd_crossval(flags: &Flags) -> Result<String> {
+    let data = read_dataset(flags.required("data")?)?;
+    let folds: usize = flags.parsed_or("folds", 5)?;
+    let min_leaf: usize = flags.parsed_or("min-leaf", (data.len() / 200).max(4))?;
+    let seed: u64 = flags.parsed_or("seed", 1)?;
+    let config = M5Config::default().with_min_leaf(min_leaf);
+    let cv = k_fold(&data, &config, folds, seed).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "{folds}-fold CV: MAE {:.4}, RMSE {:.4}, C {:.4}, mean leaves {:.1}",
+        cv.mean_mae(),
+        cv.mean_rmse(),
+        cv.mean_correlation(),
+        cv.mean_leaves()
+    ))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+specrepro — SPEC CPU2006 / OMP2001 characterization toolkit
+
+USAGE:
+  specrepro generate --suite cpu2006|omp2001 --out FILE [--samples N] [--seed S]
+  specrepro fit      --data FILE [--out MODEL.json] [--min-leaf N] [--sd-fraction F]
+                     [--print summary|tree|models|importance|dot]
+  specrepro predict  --model MODEL.json --data FILE [--out PRED.csv]
+  specrepro classify --model MODEL.json --data FILE
+  specrepro transfer --model MODEL.json --train FILE --test FILE
+  specrepro subset   --model MODEL.json --data FILE [--k N] [--method greedy|kmeans]
+  specrepro similar  --model MODEL.json --data FILE [--pairs N]
+  specrepro explain  --model MODEL.json --data FILE [--row N]
+  specrepro stats    --data FILE
+  specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S]
+
+Dataset files: .csv, .arff (WEKA), or .json by extension.";
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a printable error for unknown commands or any command
+/// failure.
+pub fn run(args: &[String]) -> Result<String> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError(format!("no command given\n\n{USAGE}")))?;
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "fit" => cmd_fit(&flags),
+        "predict" => cmd_predict(&flags),
+        "classify" => cmd_classify(&flags),
+        "transfer" => cmd_transfer(&flags),
+        "subset" => cmd_subset(&flags),
+        "similar" => cmd_similar(&flags),
+        "explain" => cmd_explain(&flags),
+        "stats" => cmd_stats(&flags),
+        "crossval" => cmd_crossval(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = Flags::parse(&argv(&["--suite", "cpu2006", "--samples", "100"])).unwrap();
+        assert_eq!(f.required("suite").unwrap(), "cpu2006");
+        assert_eq!(f.parsed_or::<usize>("samples", 0).unwrap(), 100);
+        assert_eq!(f.parsed_or::<usize>("missing", 7).unwrap(), 7);
+        assert!(f.required("missing").is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed() {
+        assert!(Flags::parse(&argv(&["positional"])).is_err());
+        assert!(Flags::parse(&argv(&["--dangling"])).is_err());
+        let f = Flags::parse(&argv(&["--samples", "notanumber"])).unwrap();
+        assert!(f.parsed_or::<usize>("samples", 0).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&argv(&["help"])).unwrap().contains("USAGE"));
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_suite_rejected() {
+        let f = Flags::parse(&argv(&["--suite", "spec95", "--out", "/tmp/x.csv"])).unwrap();
+        assert!(cmd_generate(&f).is_err());
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert!(read_dataset("/nonexistent/file.csv").is_err());
+        assert!(read_dataset("/nonexistent/file.xyz").is_err());
+        assert!(extension("noext").is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! `specrepro` binary entry point: thin wrapper over [`spec_cli::run`].
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match spec_cli::run(&args) {
+        Ok(output) => {
+            // Ignore broken pipes (e.g. `specrepro ... | head`).
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! k-fold cross-validation for model selection.
+//!
+//! The paper tunes M5' parameters "to achieve a balance between tractable
+//! model size and good prediction accuracy"; cross-validation is the
+//! standard way to measure the accuracy side of that trade without
+//! touching a held-out set. Used by the ablation experiments.
+
+use crate::config::M5Config;
+use crate::tree::ModelTree;
+use crate::{Result, TreeError};
+use mathkit::describe::correlation;
+use mathkit::sampling::permutation;
+use perfcounters::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of a k-fold cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// Per-fold mean absolute error.
+    pub fold_mae: Vec<f64>,
+    /// Per-fold root mean squared error.
+    pub fold_rmse: Vec<f64>,
+    /// Per-fold correlation between predictions and actuals.
+    pub fold_correlation: Vec<f64>,
+    /// Per-fold leaf counts of the fitted trees.
+    pub fold_leaves: Vec<usize>,
+}
+
+impl CrossValidation {
+    /// Mean of the per-fold MAEs.
+    pub fn mean_mae(&self) -> f64 {
+        mean(&self.fold_mae)
+    }
+
+    /// Mean of the per-fold RMSEs.
+    pub fn mean_rmse(&self) -> f64 {
+        mean(&self.fold_rmse)
+    }
+
+    /// Mean of the per-fold correlations.
+    pub fn mean_correlation(&self) -> f64 {
+        mean(&self.fold_correlation)
+    }
+
+    /// Mean leaf count across folds.
+    pub fn mean_leaves(&self) -> f64 {
+        self.fold_leaves.iter().map(|&l| l as f64).sum::<f64>()
+            / self.fold_leaves.len().max(1) as f64
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs k-fold cross-validation of an [`M5Config`] on a dataset.
+///
+/// The dataset is shuffled once with the given seed and partitioned into
+/// `k` near-equal folds; each fold in turn serves as the test set for a
+/// tree trained on the others.
+///
+/// # Errors
+///
+/// * [`TreeError::InvalidConfig`] if `k < 2` or `k > data.len()`, or if
+///   the model configuration is invalid.
+/// * Propagates fit errors from [`ModelTree::fit`].
+pub fn k_fold(data: &Dataset, config: &M5Config, k: usize, seed: u64) -> Result<CrossValidation> {
+    if k < 2 || k > data.len() {
+        return Err(TreeError::InvalidConfig(format!(
+            "k = {k} out of range for {} samples",
+            data.len()
+        )));
+    }
+    config.validate()?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let order = permutation(&mut rng, data.len());
+
+    let mut result = CrossValidation {
+        fold_mae: Vec::with_capacity(k),
+        fold_rmse: Vec::with_capacity(k),
+        fold_correlation: Vec::with_capacity(k),
+        fold_leaves: Vec::with_capacity(k),
+    };
+    for fold in 0..k {
+        let mut train = Dataset::with_capacity(data.len());
+        let mut test = Dataset::with_capacity(data.len() / k + 1);
+        for name in data.benchmark_names() {
+            train.add_benchmark(name);
+            test.add_benchmark(name);
+        }
+        for (rank, &idx) in order.iter().enumerate() {
+            let target = if rank % k == fold { &mut test } else { &mut train };
+            target.push(data.sample(idx).clone(), data.label(idx));
+        }
+        let tree = ModelTree::fit(&train, config)?;
+        let predictions = tree.predict_all(&test);
+        let actuals = test.cpis();
+        let n = actuals.len() as f64;
+        let mae = predictions
+            .iter()
+            .zip(&actuals)
+            .map(|(p, a)| (p - a).abs())
+            .sum::<f64>()
+            / n;
+        let rmse = (predictions
+            .iter()
+            .zip(&actuals)
+            .map(|(p, a)| (p - a) * (p - a))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        let corr = correlation(&predictions, &actuals).unwrap_or(0.0);
+        result.fold_mae.push(mae);
+        result.fold_rmse.push(rmse);
+        result.fold_correlation.push(corr);
+        result.fold_leaves.push(tree.n_leaves());
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcounters::{EventId, Sample};
+    use rand::Rng;
+
+    fn regime_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("synth");
+        for _ in 0..n {
+            let dtlb = rng.gen::<f64>() * 4e-4;
+            let load = rng.gen::<f64>() * 0.4;
+            let cpi = if dtlb <= 2e-4 {
+                0.6 + 2.0 * load
+            } else {
+                1.4 + 500.0 * dtlb
+            };
+            let mut s = Sample::zeros(cpi + 0.01 * rng.gen::<f64>());
+            s.set(EventId::DtlbMiss, dtlb);
+            s.set(EventId::Load, load);
+            ds.push(s, b);
+        }
+        ds
+    }
+
+    #[test]
+    fn five_fold_on_learnable_data() {
+        let ds = regime_dataset(1000, 1);
+        let cv = k_fold(&ds, &M5Config::default(), 5, 42).unwrap();
+        assert_eq!(cv.fold_mae.len(), 5);
+        assert!(cv.mean_mae() < 0.05, "mae {}", cv.mean_mae());
+        assert!(cv.mean_correlation() > 0.95);
+        assert!(cv.mean_rmse() >= cv.mean_mae());
+        assert!(cv.mean_leaves() >= 1.0);
+    }
+
+    #[test]
+    fn folds_partition_data() {
+        // With k = 4 and 103 samples, folds are 26/26/26/25.
+        let ds = regime_dataset(103, 2);
+        let cv = k_fold(&ds, &M5Config::default(), 4, 7).unwrap();
+        assert_eq!(cv.fold_mae.len(), 4);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let ds = regime_dataset(50, 3);
+        assert!(matches!(
+            k_fold(&ds, &M5Config::default(), 1, 0),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            k_fold(&ds, &M5Config::default(), 51, 0),
+            Err(TreeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = regime_dataset(400, 4);
+        let a = k_fold(&ds, &M5Config::default(), 3, 9).unwrap();
+        let b = k_fold(&ds, &M5Config::default(), 3, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruned_config_generalizes_no_worse_than_unpruned_overfit() {
+        // On noisy data, disabling pruning with tiny leaves should not
+        // beat the default by any meaningful margin (and usually loses).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("noisy");
+        for _ in 0..600 {
+            let x = rng.gen::<f64>();
+            let mut s = Sample::zeros(1.0 + 0.2 * x + 0.3 * rng.gen::<f64>());
+            s.set(EventId::Load, x);
+            ds.push(s, b);
+        }
+        let pruned = k_fold(&ds, &M5Config::default(), 5, 11).unwrap();
+        let overfit = k_fold(
+            &ds,
+            &M5Config::default().with_prune(false).with_sd_fraction(0.0),
+            5,
+            11,
+        )
+        .unwrap();
+        assert!(pruned.mean_mae() <= overfit.mean_mae() + 0.01);
+        assert!(pruned.mean_leaves() <= overfit.mean_leaves());
+    }
+}

@@ -1,0 +1,289 @@
+//! Textual rendering of model trees.
+//!
+//! Two renderings are provided:
+//!
+//! * [`render_tree`] — a WEKA-style indented dump annotated with each
+//!   node's sample share and mean CPI, matching how the paper's Figures 1
+//!   and 2 label nodes ("the percentage of samples that are contained in
+//!   the subtree rooted at the split node, and the average CPI").
+//! * [`render_models`] — the leaf equations in the paper's style
+//!   (`LM1: CPI = 0.53 + 4.73*L1DMiss + ...`).
+
+use crate::tree::{ModelTree, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the tree structure as indented text.
+///
+/// # Examples
+///
+/// ```
+/// use modeltree::{M5Config, ModelTree};
+/// use perfcounters::{Dataset, EventId, Sample};
+///
+/// let mut ds = Dataset::new();
+/// let b = ds.add_benchmark("toy");
+/// for i in 0..100 {
+///     let (v, cpi) = if i % 2 == 0 { (0.1, 0.5) } else { (0.9, 2.0) };
+///     let mut s = Sample::zeros(cpi);
+///     s.set(EventId::Store, v);
+///     ds.push(s, b);
+/// }
+/// let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+/// let text = modeltree::display::render_tree(&tree);
+/// assert!(text.contains("Store"));
+/// ```
+pub fn render_tree(tree: &ModelTree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root(), 0, &mut out);
+    out
+}
+
+fn render_node(tree: &ModelTree, id: NodeId, indent: usize, out: &mut String) {
+    let node = tree.node(id);
+    let share = 100.0 * node.n_samples() as f64 / tree.n_training().max(1) as f64;
+    match *node.kind() {
+        NodeKind::Leaf { lm_index } => {
+            let _ = writeln!(
+                out,
+                "{}LM{} ({:.2}% of samples, avg CPI {:.2})",
+                "|  ".repeat(indent),
+                lm_index,
+                share,
+                node.mean_cpi()
+            );
+        }
+        NodeKind::Split {
+            event,
+            threshold,
+            left,
+            right,
+        } => {
+            let prefix = "|  ".repeat(indent);
+            let _ = writeln!(
+                out,
+                "{}{} <= {:.6} ? ({:.2}% of samples, avg CPI {:.2})",
+                prefix,
+                event.short_name(),
+                threshold,
+                share,
+                node.mean_cpi()
+            );
+            render_node(tree, left, indent + 1, out);
+            render_node(tree, right, indent + 1, out);
+        }
+    }
+}
+
+/// Renders every leaf's linear model, one per line, in LM order.
+///
+/// Constant models are rendered as `LMk: CPI = c` exactly as the paper
+/// summarizes them ("the model for LM2 is simply CPI = 1.44").
+pub fn render_models(tree: &ModelTree) -> String {
+    let mut out = String::new();
+    for leaf in tree.leaves() {
+        let _ = writeln!(
+            out,
+            "LM{} ({:.2}% of samples, avg CPI {:.2}): {}",
+            leaf.lm_index,
+            100.0 * leaf.share,
+            leaf.mean_cpi,
+            leaf.model
+        );
+    }
+    out
+}
+
+/// Renders a one-paragraph structural summary: node/leaf counts, depth,
+/// the root split, and the largest leaves.
+pub fn render_summary(tree: &ModelTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model tree: {} nodes, {} leaves, depth {}, trained on {} samples (CPI sd {:.3})",
+        tree.n_nodes(),
+        tree.n_leaves(),
+        tree.depth(),
+        tree.n_training(),
+        tree.root_sd()
+    );
+    if let Some(root_event) = tree.root_split_event() {
+        let _ = writeln!(
+            out,
+            "root split (most discriminating factor): {}",
+            root_event.short_name()
+        );
+    }
+    let mut leaves = tree.leaves();
+    leaves.sort_by(|a, b| b.share.total_cmp(&a.share));
+    for leaf in leaves.iter().take(3) {
+        let _ = writeln!(
+            out,
+            "  LM{}: {:.2}% of samples, avg CPI {:.2}, {} terms",
+            leaf.lm_index,
+            100.0 * leaf.share,
+            leaf.mean_cpi,
+            leaf.model.terms().len()
+        );
+    }
+    out
+}
+
+/// Renders the sample-weighted event importances, one per line, in
+/// descending order (the quantified version of the paper's "subtree size
+/// indicates importance" reading).
+pub fn render_importance(tree: &ModelTree) -> String {
+    let mut out = String::new();
+    for (event, importance) in tree.event_importance() {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>6.1}%",
+            event.short_name(),
+            100.0 * importance
+        );
+    }
+    out
+}
+
+/// Renders the tree as Graphviz DOT, in the visual style of the paper's
+/// Figures 1 and 2: ovals for split nodes (event, sample share, average
+/// CPI), boxes for leaves (LM number, share, average CPI), and arcs
+/// labeled with the split criterion.
+///
+/// Pipe through `dot -Tpdf` to regenerate the figure.
+pub fn render_dot(tree: &ModelTree) -> String {
+    let mut out = String::from("digraph model_tree {\n  node [fontname=\"Helvetica\"];\n");
+    for id in tree.node_ids() {
+        let node = tree.node(id);
+        let share = 100.0 * node.n_samples() as f64 / tree.n_training().max(1) as f64;
+        match *node.kind() {
+            NodeKind::Leaf { lm_index } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box, label=\"LM{}\\n{:.1}%\\nCPI {:.2}\"];",
+                    id.index(),
+                    lm_index,
+                    share,
+                    node.mean_cpi()
+                );
+            }
+            NodeKind::Split {
+                event,
+                threshold,
+                left,
+                right,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=oval, label=\"{}\\n{:.1}%\\nCPI {:.2}\"];",
+                    id.index(),
+                    event.short_name(),
+                    share,
+                    node.mean_cpi()
+                );
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"<= {:.3e}\"];",
+                    id.index(),
+                    left.index(),
+                    threshold
+                );
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"> {:.3e}\"];",
+                    id.index(),
+                    right.index(),
+                    threshold
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::M5Config;
+    use perfcounters::{Dataset, EventId, Sample};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn demo_tree() -> ModelTree {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("demo");
+        for _ in 0..1000 {
+            let dtlb = rng.gen::<f64>() * 4e-4;
+            let cpi = if dtlb < 2e-4 { 0.6 } else { 1.4 + 800.0 * dtlb };
+            let mut s = Sample::zeros(cpi);
+            s.set(EventId::DtlbMiss, dtlb);
+            ds.push(s, b);
+        }
+        ModelTree::fit(&ds, &M5Config::default()).unwrap()
+    }
+
+    #[test]
+    fn tree_rendering_mentions_split_and_leaves() {
+        let tree = demo_tree();
+        let text = render_tree(&tree);
+        assert!(text.contains("DtlbMiss"), "{text}");
+        assert!(text.contains("LM1"), "{text}");
+        assert!(text.contains("% of samples"));
+        // One line per node.
+        assert_eq!(text.lines().count(), tree.n_nodes());
+    }
+
+    #[test]
+    fn model_rendering_lists_all_leaves() {
+        let tree = demo_tree();
+        let text = render_models(&tree);
+        assert_eq!(text.lines().count(), tree.n_leaves());
+        assert!(text.contains("CPI ="));
+    }
+
+    #[test]
+    fn importance_rendering_lists_split_events() {
+        let tree = demo_tree();
+        let text = render_importance(&tree);
+        assert!(text.contains("DtlbMiss"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let tree = demo_tree();
+        let text = render_dot(&tree);
+        assert!(text.starts_with("digraph model_tree {"));
+        assert!(text.trim_end().ends_with('}'));
+        assert!(text.contains("shape=box"));
+        assert!(text.contains("shape=oval"));
+        assert!(text.contains("DtlbMiss"));
+        // One node statement per tree node, two edges per split.
+        let node_count = text.matches("[shape=").count();
+        assert_eq!(node_count, tree.n_nodes());
+        let edge_count = text.matches(" -> ").count();
+        assert_eq!(edge_count, tree.n_nodes() - 1);
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let tree = demo_tree();
+        let text = render_summary(&tree);
+        assert!(text.contains("leaves"));
+        assert!(text.contains("root split"));
+    }
+
+    #[test]
+    fn single_leaf_renders_without_root_split() {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("flat");
+        for _ in 0..10 {
+            ds.push(Sample::zeros(1.0), b);
+        }
+        let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+        let text = render_summary(&tree);
+        assert!(!text.contains("root split"));
+        assert!(render_tree(&tree).contains("LM1"));
+    }
+}

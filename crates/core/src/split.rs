@@ -1,0 +1,260 @@
+//! Standard-deviation-reduction (SDR) split search.
+//!
+//! At each node, M5' examines every attribute and every threshold between
+//! adjacent distinct values, and picks the split that maximizes
+//!
+//! ```text
+//! SDR = sd(T) - Σ_i (|T_i| / |T|) * sd(T_i)
+//! ```
+//!
+//! "the split event at a given node identifies the parameter to which CPI
+//! is statistically most sensitive" (paper, Section IV-A1).
+
+use perfcounters::events::EventId;
+use perfcounters::Dataset;
+
+/// A candidate split chosen by the SDR criterion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// The attribute to test.
+    pub event: EventId,
+    /// The threshold: samples with `value <= threshold` go left.
+    pub threshold: f64,
+    /// The achieved standard-deviation reduction (absolute, in CPI
+    /// units).
+    pub sdr: f64,
+}
+
+/// Population standard deviation from `(n, Σy, Σy²)` running sums.
+#[inline]
+fn sd_from_sums(n: f64, sum: f64, sum_sq: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mean = sum / n;
+    (sum_sq / n - mean * mean).max(0.0).sqrt()
+}
+
+/// Population standard deviation of the CPI over selected samples.
+pub(crate) fn cpi_sd(data: &Dataset, indices: &[usize]) -> f64 {
+    let n = indices.len() as f64;
+    let (sum, sum_sq) = indices.iter().fold((0.0, 0.0), |(s, s2), &i| {
+        let y = data.sample(i).cpi();
+        (s + y, s2 + y * y)
+    });
+    sd_from_sums(n, sum, sum_sq)
+}
+
+/// Mean CPI over selected samples (0 for an empty set).
+pub(crate) fn cpi_mean(data: &Dataset, indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| data.sample(i).cpi()).sum::<f64>() / indices.len() as f64
+}
+
+/// Finds the SDR-maximizing split over all attributes, subject to both
+/// sides receiving at least `min_leaf` samples.
+///
+/// Returns `None` when no admissible split improves on the parent (all
+/// attribute columns constant, node too small, or best SDR is
+/// numerically zero).
+pub(crate) fn find_best_split(data: &Dataset, indices: &[usize], min_leaf: usize) -> Option<Split> {
+    let n = indices.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let total_sd = cpi_sd(data, indices);
+    if total_sd <= 0.0 {
+        return None;
+    }
+
+    let mut best: Option<Split> = None;
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+    for event in EventId::ALL {
+        pairs.clear();
+        pairs.extend(indices.iter().map(|&i| {
+            let s = data.sample(i);
+            (s.get(event), s.cpi())
+        }));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if pairs[0].0 == pairs[n - 1].0 {
+            continue; // constant column
+        }
+
+        let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+        let total_sum_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+
+        let mut left_sum = 0.0;
+        let mut left_sum_sq = 0.0;
+        for i in 0..n - 1 {
+            let (value, y) = pairs[i];
+            left_sum += y;
+            left_sum_sq += y * y;
+            let next_value = pairs[i + 1].0;
+            if value == next_value {
+                continue; // threshold must separate distinct values
+            }
+            let n_left = i + 1;
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let sd_left = sd_from_sums(n_left as f64, left_sum, left_sum_sq);
+            let sd_right = sd_from_sums(
+                n_right as f64,
+                total_sum - left_sum,
+                total_sum_sq - left_sum_sq,
+            );
+            let weighted =
+                (n_left as f64 * sd_left + n_right as f64 * sd_right) / n as f64;
+            let sdr = total_sd - weighted;
+            if sdr > best.map_or(1e-12 * total_sd, |b| b.sdr) {
+                best = Some(Split {
+                    event,
+                    threshold: 0.5 * (value + next_value),
+                    sdr,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Partitions `indices` by a split: `(left, right)` with
+/// `value <= threshold` on the left.
+pub(crate) fn partition(
+    data: &Dataset,
+    indices: &[usize],
+    split: &Split,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in indices {
+        if data.sample(i).get(split.event) <= split.threshold {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcounters::Sample;
+
+    fn two_regime_dataset() -> (Dataset, Vec<usize>) {
+        // CPI = 0.5 below the DtlbMiss threshold, 2.0 above it.
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("toy");
+        for i in 0..100 {
+            let (dtlb, cpi) = if i < 50 { (1e-4, 0.5) } else { (4e-4, 2.0) };
+            let mut s = Sample::zeros(cpi);
+            s.set(EventId::DtlbMiss, dtlb);
+            // A second, uninformative attribute.
+            s.set(EventId::Load, 0.3);
+            ds.push(s, b);
+        }
+        let idx = (0..100).collect();
+        (ds, idx)
+    }
+
+    #[test]
+    fn finds_the_informative_attribute() {
+        let (ds, idx) = two_regime_dataset();
+        let split = find_best_split(&ds, &idx, 2).unwrap();
+        assert_eq!(split.event, EventId::DtlbMiss);
+        assert!(split.threshold > 1e-4 && split.threshold < 4e-4);
+        assert!(split.sdr > 0.0);
+    }
+
+    #[test]
+    fn partition_respects_threshold() {
+        let (ds, idx) = two_regime_dataset();
+        let split = find_best_split(&ds, &idx, 2).unwrap();
+        let (left, right) = partition(&ds, &idx, &split);
+        assert_eq!(left.len(), 50);
+        assert_eq!(right.len(), 50);
+        assert!(left
+            .iter()
+            .all(|&i| ds.sample(i).get(EventId::DtlbMiss) <= split.threshold));
+        assert!(right
+            .iter()
+            .all(|&i| ds.sample(i).get(EventId::DtlbMiss) > split.threshold));
+    }
+
+    #[test]
+    fn no_split_on_constant_target() {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("flat");
+        for i in 0..50 {
+            let mut s = Sample::zeros(1.0);
+            s.set(EventId::Load, i as f64 * 0.01);
+            ds.push(s, b);
+        }
+        let idx: Vec<usize> = (0..50).collect();
+        assert!(find_best_split(&ds, &idx, 2).is_none());
+    }
+
+    #[test]
+    fn no_split_on_constant_attributes() {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("flat");
+        for i in 0..50 {
+            // Varying CPI but all attributes identical: nothing to split.
+            ds.push(Sample::zeros(1.0 + (i % 5) as f64 * 0.1), b);
+        }
+        let idx: Vec<usize> = (0..50).collect();
+        assert!(find_best_split(&ds, &idx, 2).is_none());
+    }
+
+    #[test]
+    fn min_leaf_is_enforced() {
+        let (ds, idx) = two_regime_dataset();
+        // min_leaf of 60 cannot be met on either side of the only useful
+        // split (50/50), and no other attribute varies.
+        assert!(find_best_split(&ds, &idx, 60).is_none());
+    }
+
+    #[test]
+    fn too_few_samples_returns_none() {
+        let (ds, _) = two_regime_dataset();
+        assert!(find_best_split(&ds, &[0, 1, 2], 2).is_none());
+    }
+
+    #[test]
+    fn sd_helpers() {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("x");
+        for &v in &[1.0, 2.0, 3.0, 4.0] {
+            ds.push(Sample::zeros(v), b);
+        }
+        let idx = [0, 1, 2, 3];
+        assert!((cpi_mean(&ds, &idx) - 2.5).abs() < 1e-12);
+        // Population sd of {1,2,3,4} = sqrt(1.25).
+        assert!((cpi_sd(&ds, &idx) - 1.25_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(cpi_mean(&ds, &[]), 0.0);
+        assert_eq!(cpi_sd(&ds, &[]), 0.0);
+    }
+
+    #[test]
+    fn threshold_lies_between_distinct_values() {
+        // Values interleave: make sure the chosen threshold always
+        // separates two actually-distinct attribute values.
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("x");
+        for i in 0..40 {
+            let v = (i / 10) as f64; // 0,0,..,1,1,..,2,..,3
+            let mut s = Sample::zeros(v);
+            s.set(EventId::Mul, v * 0.1);
+            ds.push(s, b);
+        }
+        let idx: Vec<usize> = (0..40).collect();
+        let split = find_best_split(&ds, &idx, 2).unwrap();
+        assert_eq!(split.event, EventId::Mul);
+        let distinct = [0.0, 0.1, 0.2, 0.3];
+        assert!(distinct.iter().all(|&v| (v - split.threshold).abs() > 1e-9));
+    }
+}

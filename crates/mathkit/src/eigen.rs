@@ -1,0 +1,225 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Backs the PCA used for the benchmark-subsetting comparison (the
+//! paper's related work applies PCA + clustering to subsetting; see
+//! `characterize::pca`). Jacobi is slow for large matrices but exact,
+//! simple, and the matrices here are at most `19 x 19` (one row per
+//! Table I event).
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// An eigendecomposition of a symmetric matrix: `a = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    values: Vec<f64>,
+    /// Eigenvectors as matrix columns, in the order of `values`.
+    vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvector matrix; column `i` pairs with `values()[i]`.
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Copies eigenvector `i` out as a vector.
+    pub fn vector(&self, i: usize) -> Vec<f64> {
+        self.vectors.col(i)
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method.
+///
+/// # Errors
+///
+/// * [`MathError::ShapeMismatch`] if `a` is not square.
+/// * [`MathError::Domain`] if `a` is not (numerically) symmetric.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MathError::ShapeMismatch(format!(
+            "matrix must be square, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let scale = a.max_abs().max(1e-300);
+    for i in 0..n {
+        for j in 0..i {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-9 * scale {
+                return Err(MathError::Domain(format!(
+                    "matrix is not symmetric at ({i}, {j})"
+                )));
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        // Sum of squares of off-diagonal elements.
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
+            .sum();
+        if off.sqrt() <= 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by eigenvalue, descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&x, &y| diag[y].total_cmp(&diag[x]));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values()[0] - 3.0).abs() < 1e-12);
+        assert!((e.values()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with vectors
+        // (1,1)/sqrt2 and (1,-1)/sqrt2.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values()[0] - 3.0).abs() < 1e-12);
+        assert!((e.values()[1] - 1.0).abs() < 1e-12);
+        let v0 = e.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10); // same sign, equal parts
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.5],
+            &[0.5, -0.5, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        // a = V diag(l) V^T
+        let n = 3;
+        for i in 0..n {
+            for j in 0..n {
+                let mut back = 0.0;
+                for k in 0..n {
+                    back += e.vectors()[(i, k)] * e.values()[k] * e.vectors()[(j, k)];
+                }
+                assert!((back - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0, 0.0],
+            &[2.0, 4.0, 0.5, 1.0],
+            &[1.0, 0.5, 3.0, 0.2],
+            &[0.0, 1.0, 0.2, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vt_v = e.vectors().transpose().matmul(e.vectors()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((vt_v[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.3], &[-1.0, 5.0, 0.7], &[0.3, 0.7, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.values().iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]);
+        assert!(matches!(symmetric_eigen(&a), Err(MathError::Domain(_))));
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(MathError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 9.0, 0.0],
+            &[0.0, 0.0, 4.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values(), &[9.0, 4.0, 1.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Numerical substrate for the SPEC CPU2006 / SPEC OMP2001 characterization
+//! reproduction.
+//!
+//! `mathkit` provides the pieces of numerical computing that the rest of the
+//! workspace builds on, implemented from scratch so the workspace has no
+//! external linear-algebra or statistics dependencies:
+//!
+//! * [`matrix`] — a dense, row-major [`matrix::Matrix`] with the
+//!   operations needed for least-squares model fitting.
+//! * [`solve`] — direct solvers: Gaussian elimination with partial pivoting
+//!   and Cholesky factorization, plus a ridge-regularized fallback.
+//! * [`qr`] — Householder QR factorization and QR-based least squares.
+//! * [`special`] — special functions (log-gamma, regularized incomplete
+//!   beta, error function) required by the probability distributions.
+//! * [`dist`] — Normal and Student-t distributions with CDFs and quantiles,
+//!   as needed by the two-sample hypothesis tests of the paper's Section VI.
+//! * [`describe`] — descriptive statistics (means, unbiased variances,
+//!   covariance, correlation, quantiles) matching the estimators in the
+//!   paper's Equations 8–11.
+//! * [`sampling`] — normal / truncated-normal / lognormal sampling helpers
+//!   built on [`rand`], used by the synthetic workload generator.
+//!
+//! # Examples
+//!
+//! Solving a small least-squares problem:
+//!
+//! ```
+//! use mathkit::matrix::Matrix;
+//! use mathkit::qr::least_squares;
+//!
+//! // y = 1 + 2x sampled exactly.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = least_squares(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-10);
+//! assert!((beta[1] - 2.0).abs() < 1e-10);
+//! ```
+
+pub mod describe;
+pub mod dist;
+pub mod eigen;
+pub mod matrix;
+pub mod qr;
+pub mod sampling;
+pub mod solve;
+pub mod special;
+
+pub use describe::Summary;
+pub use dist::{Normal, StudentT};
+pub use matrix::Matrix;
+
+/// Errors produced by `mathkit` numerical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// A matrix was singular (or numerically rank deficient) where an
+    /// invertible matrix was required.
+    Singular,
+    /// Operand shapes were incompatible, e.g. multiplying a `2x3` matrix by
+    /// a `2x2` matrix. The payload is a human-readable description.
+    ShapeMismatch(String),
+    /// The input was empty or otherwise too small for the requested
+    /// computation (e.g. variance of zero samples).
+    InsufficientData,
+    /// A parameter was outside its mathematical domain (e.g. a negative
+    /// variance or a probability outside `[0, 1]`).
+    Domain(String),
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::Singular => write!(f, "matrix is singular or rank deficient"),
+            MathError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            MathError::InsufficientData => write!(f, "not enough data for computation"),
+            MathError::Domain(msg) => write!(f, "parameter outside domain: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Convenience alias for results from `mathkit` routines.
+pub type Result<T> = std::result::Result<T, MathError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            MathError::Singular,
+            MathError::ShapeMismatch("2x3 vs 2x2".into()),
+            MathError::InsufficientData,
+            MathError::Domain("p must be in [0,1]".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

@@ -1,0 +1,206 @@
+//! Random sampling helpers built on [`rand`], used by the synthetic
+//! workload generator.
+//!
+//! Only the uniform source comes from `rand`; the normal, truncated-normal,
+//! and lognormal transforms are implemented here (Box–Muller and rejection)
+//! to keep the dependency surface minimal.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = mathkit::sampling::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sd < 0`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0, "sd must be non-negative");
+    mean + sd * standard_normal(rng)
+}
+
+/// Draws a normal variate truncated to `[lo, hi]` by rejection with a
+/// clamping fallback after a bounded number of attempts (so the function
+/// always terminates even for extreme truncation).
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sd: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
+    if sd == 0.0 {
+        return mean.clamp(lo, hi);
+    }
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Draws a lognormal variate: `exp(N(mu, sigma))`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws an exponential variate with the given rate (`lambda > 0`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `rate <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights. Weights need not be normalized.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, returned as a permutation
+/// vector. Deterministic given the RNG state.
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws<F: FnMut(&mut StdRng) -> f64>(n: usize, seed: u64, mut f: F) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let xs = draws(50_000, 1, standard_normal);
+        assert!(mean(&xs).unwrap().abs() < 0.02);
+        assert!((std_dev(&xs).unwrap() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let xs = draws(50_000, 2, |r| normal(r, 5.0, 2.0));
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 0.05);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let xs = draws(10_000, 3, |r| truncated_normal(r, 0.0, 1.0, -0.5, 0.5));
+        assert!(xs.iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn truncated_normal_extreme_truncation_terminates() {
+        // Interval far in the tail: rejection would essentially never hit,
+        // the clamp fallback must kick in.
+        let xs = draws(100, 4, |r| truncated_normal(r, 0.0, 1.0, 50.0, 51.0));
+        assert!(xs.iter().all(|&x| (50.0..=51.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid truncation interval")]
+    fn truncated_normal_rejects_inverted_interval() {
+        let mut rng = StdRng::seed_from_u64(0);
+        truncated_normal(&mut rng, 0.0, 1.0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let xs = draws(10_000, 5, |r| lognormal(r, -2.0, 0.7));
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let xs = draws(50_000, 6, |r| exponential(r, 4.0));
+        assert!((mean(&xs).unwrap() - 0.25).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_empty_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        weighted_index(&mut rng, &[]);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = permutation(&mut rng, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        assert_eq!(permutation(&mut a, 50), permutation(&mut b, 50));
+    }
+}

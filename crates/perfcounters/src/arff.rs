@@ -1,0 +1,208 @@
+//! ARFF import/export.
+//!
+//! The paper ran M5' inside WEKA, whose native dataset format is ARFF
+//! (Attribute-Relation File Format). These routines write a
+//! [`Dataset`] as an ARFF relation (one numeric attribute per Table I
+//! event plus the CPI target and a nominal benchmark attribute) and read
+//! it back, so datasets generated here can be cross-checked against a
+//! real WEKA installation.
+
+use crate::dataset::Dataset;
+use crate::events::{EventId, N_EVENTS};
+use crate::sample::Sample;
+use crate::{DataError, Result};
+use std::io::{BufRead, Write};
+
+/// Writes the dataset as an ARFF relation named `relation`.
+///
+/// Layout: a nominal `benchmark` attribute, one numeric attribute per
+/// Table I event (short names), and the numeric class attribute `CPI`
+/// last — the position WEKA's regression schemes default to.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn to_arff<W: Write>(data: &Dataset, relation: &str, mut w: W) -> Result<()> {
+    writeln!(w, "@RELATION {relation}")?;
+    writeln!(w)?;
+    let names: Vec<String> = data
+        .benchmark_names()
+        .iter()
+        .map(|n| n.replace(',', "_"))
+        .collect();
+    writeln!(w, "@ATTRIBUTE benchmark {{{}}}", names.join(","))?;
+    for e in EventId::ALL {
+        writeln!(w, "@ATTRIBUTE {} NUMERIC", e.short_name())?;
+    }
+    writeln!(w, "@ATTRIBUTE CPI NUMERIC")?;
+    writeln!(w)?;
+    writeln!(w, "@DATA")?;
+    for (s, label) in data.iter() {
+        write!(w, "{}", names[label as usize])?;
+        for e in EventId::ALL {
+            write!(w, ",{}", s.get(e))?;
+        }
+        writeln!(w, ",{}", s.cpi())?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from ARFF text produced by [`to_arff`].
+///
+/// The parser handles the subset of ARFF that [`to_arff`] emits (plus
+/// comments and blank lines); it is not a general ARFF reader.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] for missing/reordered attributes, rows
+/// with the wrong field count, or unparsable numbers.
+pub fn from_arff<R: BufRead>(r: R) -> Result<Dataset> {
+    let mut ds = Dataset::new();
+    let mut attributes: Vec<String> = Vec::new();
+    let mut in_data = false;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        if lower.starts_with("@relation") {
+            continue;
+        }
+        if lower.starts_with("@attribute") {
+            let rest = trimmed["@attribute".len()..].trim();
+            let name = rest.split_whitespace().next().ok_or_else(|| {
+                DataError::Parse(format!("line {}: attribute without a name", lineno + 1))
+            })?;
+            attributes.push(name.to_owned());
+            continue;
+        }
+        if lower.starts_with("@data") {
+            // Validate the schema before accepting rows.
+            let expected: Vec<String> = std::iter::once("benchmark".to_owned())
+                .chain(EventId::ALL.iter().map(|e| e.short_name().to_owned()))
+                .chain(std::iter::once("CPI".to_owned()))
+                .collect();
+            if attributes != expected {
+                return Err(DataError::Parse(format!(
+                    "unexpected attribute layout: {attributes:?}"
+                )));
+            }
+            in_data = true;
+            continue;
+        }
+        if !in_data {
+            return Err(DataError::Parse(format!(
+                "line {}: unexpected header line {trimmed:?}",
+                lineno + 1
+            )));
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != N_EVENTS + 2 {
+            return Err(DataError::Parse(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 1,
+                N_EVENTS + 2,
+                fields.len()
+            )));
+        }
+        let label = ds.add_benchmark(fields[0]);
+        let parse = |s: &str| -> Result<f64> {
+            s.parse::<f64>()
+                .map_err(|e| DataError::Parse(format!("line {}: {e}", lineno + 1)))
+        };
+        let cpi = parse(fields[N_EVENTS + 1])?;
+        let mut sample = Sample::zeros(cpi);
+        for (e, field) in EventId::ALL.iter().zip(&fields[1..=N_EVENTS]) {
+            sample.set(*e, parse(field)?);
+        }
+        ds.push(sample, label);
+    }
+    if !in_data {
+        return Err(DataError::Parse("no @DATA section".into()));
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let a = ds.add_benchmark("429.mcf");
+        let b = ds.add_benchmark("444.namd");
+        for i in 0..6 {
+            let mut s = Sample::zeros(1.0 + i as f64 * 0.25);
+            s.set(EventId::DtlbMiss, i as f64 * 1e-4);
+            s.set(EventId::Load, 0.3);
+            ds.push(s, if i % 2 == 0 { a } else { b });
+        }
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        to_arff(&ds, "spec_cpu2006", &mut buf).unwrap();
+        let back = from_arff(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            assert!((back.sample(i).cpi() - ds.sample(i).cpi()).abs() < 1e-12);
+            assert_eq!(
+                back.benchmark_name(back.label(i)),
+                ds.benchmark_name(ds.label(i))
+            );
+            for e in EventId::ALL {
+                assert!((back.sample(i).get(e) - ds.sample(i).get(e)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn header_structure() {
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        to_arff(&ds, "rel", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("@RELATION rel"));
+        assert!(text.contains("@ATTRIBUTE benchmark {429.mcf,444.namd}"));
+        assert!(text.contains("@ATTRIBUTE DtlbMiss NUMERIC"));
+        assert!(text.contains("@ATTRIBUTE CPI NUMERIC"));
+        assert!(text.contains("@DATA"));
+        // CPI is the last attribute (WEKA's default class position).
+        let attr_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("@ATTRIBUTE"))
+            .collect();
+        assert!(attr_lines.last().unwrap().contains("CPI"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        to_arff(&ds, "rel", &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = format!("% generated for WEKA\n\n{text}");
+        let back = from_arff(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), ds.len());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_arff("".as_bytes()).is_err()); // no @DATA
+        assert!(from_arff("@DATA\n1,2\n".as_bytes()).is_err()); // bad schema
+        let bad_attr = "@RELATION x\n@ATTRIBUTE wrong NUMERIC\n@DATA\n";
+        assert!(from_arff(bad_attr.as_bytes()).is_err());
+        // Wrong field count in a data row.
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        to_arff(&ds, "rel", &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("too,few,fields\n");
+        assert!(from_arff(text.as_bytes()).is_err());
+    }
+}

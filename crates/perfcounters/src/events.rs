@@ -1,0 +1,275 @@
+//! The Table I metric schema.
+//!
+//! The paper predicts CPI (cycles per instruction, from the fixed
+//! counters) as a function of 19 per-instruction event densities collected
+//! on the two programmable counters. [`EventId`] enumerates those
+//! predictor events; the dependent variable CPI is kept separate by the
+//! [`Sample`](crate::sample::Sample) type.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of predictor events (Table I minus the CPI row).
+pub const N_EVENTS: usize = 19;
+
+/// A predictor event from Table I of the paper, expressed per retired
+/// instruction.
+///
+/// The enum order matches the paper's Table I ordering and is stable: it
+/// defines the column layout of [`Dataset`](crate::dataset::Dataset) and
+/// the attribute indices reported by the model tree.
+///
+/// # Examples
+///
+/// ```
+/// use perfcounters::events::EventId;
+///
+/// assert_eq!(EventId::DtlbMiss.short_name(), "DtlbMiss");
+/// assert_eq!(EventId::ALL.len(), perfcounters::events::N_EVENTS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum EventId {
+    /// Retired load instructions (`INST_RETIRED.LOADS`).
+    Load = 0,
+    /// Retired store instructions (`INST_RETIRED.STORES`).
+    Store,
+    /// Mispredicted retired branches (`BR_INST_RETIRED.MISPRED`).
+    MisprBr,
+    /// Retired branches of any kind (`BR_INST_RETIRED.ANY`).
+    Br,
+    /// L1 data-cache load misses (`MEM_LOAD_RETIRED.L1D_MISS`).
+    L1DMiss,
+    /// L1 instruction-cache misses (`L1I_MISSES`).
+    L1IMiss,
+    /// L2 cache load misses (`MEM_LOAD_RETIRED.L2_MISS`).
+    L2Miss,
+    /// Last-level DTLB misses (`DTLB_MISSES.ANY`).
+    DtlbMiss,
+    /// Loads blocked by an unresolved store address (`LOAD_BLOCK.STA`).
+    LdBlkStA,
+    /// Loads blocked waiting for store data (`LOAD_BLOCK.STD`).
+    LdBlkStd,
+    /// Loads blocked by a partially overlapping store
+    /// (`LOAD_BLOCK.OVERLAP_STORE`).
+    LdBlkOlp,
+    /// L1D loads split across cache lines (`L1D_SPLIT.LOADS`).
+    SplitLoad,
+    /// L1D stores split across cache lines (`L1D_SPLIT.STORES`).
+    SplitStore,
+    /// Misaligned memory references (`MISALIGN_MEM_REF`).
+    Misalign,
+    /// Divide operations (`DIV`).
+    Div,
+    /// Hardware page walks (`PAGE_WALKS.COUNT`).
+    PageWalk,
+    /// Multiply operations (`MUL`).
+    Mul,
+    /// Floating-point assists (`FP_ASSIST`).
+    FpAsst,
+    /// Retired streaming SIMD instructions (`SIMD_INST_RETIRED.ANY`).
+    Simd,
+}
+
+impl EventId {
+    /// All predictor events in column order.
+    pub const ALL: [EventId; N_EVENTS] = [
+        EventId::Load,
+        EventId::Store,
+        EventId::MisprBr,
+        EventId::Br,
+        EventId::L1DMiss,
+        EventId::L1IMiss,
+        EventId::L2Miss,
+        EventId::DtlbMiss,
+        EventId::LdBlkStA,
+        EventId::LdBlkStd,
+        EventId::LdBlkOlp,
+        EventId::SplitLoad,
+        EventId::SplitStore,
+        EventId::Misalign,
+        EventId::Div,
+        EventId::PageWalk,
+        EventId::Mul,
+        EventId::FpAsst,
+        EventId::Simd,
+    ];
+
+    /// Column index of this event in datasets and model-tree attributes.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Event at a given column index.
+    ///
+    /// Returns `None` if `index >= N_EVENTS`.
+    pub fn from_index(index: usize) -> Option<EventId> {
+        EventId::ALL.get(index).copied()
+    }
+
+    /// The short name used throughout the paper's equations (e.g.
+    /// `"DtlbMiss"`, `"LdBlkOlp"`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            EventId::Load => "Load",
+            EventId::Store => "Store",
+            EventId::MisprBr => "MisprBr",
+            EventId::Br => "Br",
+            EventId::L1DMiss => "L1DMiss",
+            EventId::L1IMiss => "L1IMiss",
+            EventId::L2Miss => "L2Miss",
+            EventId::DtlbMiss => "DtlbMiss",
+            EventId::LdBlkStA => "LdBlkStA",
+            EventId::LdBlkStd => "LdBlkStd",
+            EventId::LdBlkOlp => "LdBlkOlp",
+            EventId::SplitLoad => "SplitLoad",
+            EventId::SplitStore => "SplitStore",
+            EventId::Misalign => "Misalign",
+            EventId::Div => "Div",
+            EventId::PageWalk => "PageWalk",
+            EventId::Mul => "Mul",
+            EventId::FpAsst => "FpAsst",
+            EventId::Simd => "SIMD",
+        }
+    }
+
+    /// The underlying PMU event name, as listed in Table I.
+    pub fn pmu_event_name(self) -> &'static str {
+        match self {
+            EventId::Load => "INST_RETIRED.LOADS",
+            EventId::Store => "INST_RETIRED.STORES",
+            EventId::MisprBr => "BR_INST_RETIRED.MISPRED",
+            EventId::Br => "BR_INST_RETIRED.ANY",
+            EventId::L1DMiss => "MEM_LOAD_RETIRED.L1D_MISS",
+            EventId::L1IMiss => "L1I_MISSES",
+            EventId::L2Miss => "MEM_LOAD_RETIRED.L2_MISS",
+            EventId::DtlbMiss => "DTLB_MISSES.ANY",
+            EventId::LdBlkStA => "LOAD_BLOCK.STA",
+            EventId::LdBlkStd => "LOAD_BLOCK.STD",
+            EventId::LdBlkOlp => "LOAD_BLOCK.OVERLAP_STORE",
+            EventId::SplitLoad => "L1D_SPLIT.LOADS",
+            EventId::SplitStore => "L1D_SPLIT.STORES",
+            EventId::Misalign => "MISALIGN_MEM_REF",
+            EventId::Div => "DIV",
+            EventId::PageWalk => "PAGE_WALKS.COUNT",
+            EventId::Mul => "MUL",
+            EventId::FpAsst => "FP_ASSIST",
+            EventId::Simd => "SIMD_INST_RETIRED.ANY",
+        }
+    }
+
+    /// Human-readable description (Table I's rightmost column).
+    pub fn description(self) -> &'static str {
+        match self {
+            EventId::Load => "loads per instruction",
+            EventId::Store => "stores per instruction",
+            EventId::MisprBr => "mispredicted branches per instruction",
+            EventId::Br => "branches per instruction",
+            EventId::L1DMiss => "L1 data misses per instruction",
+            EventId::L1IMiss => "L1 instruction misses per instruction",
+            EventId::L2Miss => "L2 misses per instruction",
+            EventId::DtlbMiss => "last-level DTLB misses per instruction",
+            EventId::LdBlkStA => "load blocks due to store-address events per instruction",
+            EventId::LdBlkStd => "load blocks due to store-data events per instruction",
+            EventId::LdBlkOlp => "load blocks due to overlapping stores per instruction",
+            EventId::SplitLoad => "L1 data splits on loads per instruction",
+            EventId::SplitStore => "L1 data splits on stores per instruction",
+            EventId::Misalign => "misaligned memory references per instruction",
+            EventId::Div => "divide operations per instruction",
+            EventId::PageWalk => "page walks per instruction",
+            EventId::Mul => "multiply operations per instruction",
+            EventId::FpAsst => "floating point assists per instruction",
+            EventId::Simd => "retired streaming SIMD instructions per instruction",
+        }
+    }
+
+    /// Parses a short name (as produced by [`EventId::short_name`]) back
+    /// into an event.
+    ///
+    /// Returns `None` for unknown names. Matching is case-sensitive to
+    /// stay faithful to the paper's spellings.
+    pub fn from_short_name(name: &str) -> Option<EventId> {
+        EventId::ALL.iter().copied().find(|e| e.short_name() == name)
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Names of the three fixed-function counters of the measured machine.
+pub const FIXED_COUNTERS: [&str; 3] = [
+    "CPU_CLK_UNHALTED.CORE",
+    "INST_RETIRED.ANY",
+    "CPU_CLK_UNHALTED.REF",
+];
+
+/// Number of programmable counters multiplexed over [`EventId::ALL`].
+pub const N_PROGRAMMABLE_COUNTERS: usize = 2;
+
+/// The multiplexing interval (sample width) in instructions: 2 million, as
+/// in the paper's Section III.
+pub const INTERVAL_INSTRUCTIONS: u64 = 2_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_unique_indices_covering_range() {
+        let mut seen = [false; N_EVENTS];
+        for e in EventId::ALL {
+            assert!(!seen[e.index()], "duplicate index {}", e.index());
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        for e in EventId::ALL {
+            assert_eq!(EventId::from_index(e.index()), Some(e));
+        }
+        assert_eq!(EventId::from_index(N_EVENTS), None);
+    }
+
+    #[test]
+    fn short_name_roundtrip() {
+        for e in EventId::ALL {
+            assert_eq!(EventId::from_short_name(e.short_name()), Some(e));
+        }
+        assert_eq!(EventId::from_short_name("NotAnEvent"), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = EventId::ALL.iter().map(|e| e.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_EVENTS);
+        for e in EventId::ALL {
+            assert!(!e.pmu_event_name().is_empty());
+            assert!(!e.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        assert_eq!(format!("{}", EventId::LdBlkOlp), "LdBlkOlp");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&EventId::DtlbMiss).unwrap();
+        let back: EventId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EventId::DtlbMiss);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(INTERVAL_INSTRUCTIONS, 2_000_000);
+        assert_eq!(N_PROGRAMMABLE_COUNTERS, 2);
+        assert_eq!(FIXED_COUNTERS.len(), 3);
+    }
+}

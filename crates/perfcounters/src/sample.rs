@@ -1,0 +1,176 @@
+//! A single observation interval: per-instruction event densities plus the
+//! measured CPI.
+
+use crate::events::{EventId, N_EVENTS};
+use serde::{Deserialize, Serialize};
+
+/// One 2-million-instruction observation interval.
+///
+/// Densities are per-instruction values in `[0, ∞)` (instruction-mix
+/// events like loads are bounded by 1; miss events are typically far
+/// smaller). The dependent variable CPI is stored separately from the
+/// predictors so a `Sample` can flow into the regression machinery without
+/// index bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use perfcounters::{EventId, Sample};
+///
+/// let mut s = Sample::zeros(0.8);
+/// s.set(EventId::Load, 0.3);
+/// s.set(EventId::L2Miss, 2e-4);
+/// assert_eq!(s.get(EventId::Load), 0.3);
+/// assert_eq!(s.cpi(), 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    cpi: f64,
+    densities: [f64; N_EVENTS],
+}
+
+impl Sample {
+    /// Creates a sample with the given CPI and all event densities zero.
+    pub fn zeros(cpi: f64) -> Self {
+        Sample {
+            cpi,
+            densities: [0.0; N_EVENTS],
+        }
+    }
+
+    /// Creates a sample from a full density vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `densities.len() != N_EVENTS`.
+    pub fn from_densities(cpi: f64, densities: &[f64]) -> Self {
+        assert_eq!(
+            densities.len(),
+            N_EVENTS,
+            "expected {N_EVENTS} densities, got {}",
+            densities.len()
+        );
+        let mut arr = [0.0; N_EVENTS];
+        arr.copy_from_slice(densities);
+        Sample {
+            cpi,
+            densities: arr,
+        }
+    }
+
+    /// Measured cycles per instruction for this interval.
+    pub fn cpi(&self) -> f64 {
+        self.cpi
+    }
+
+    /// Overrides the CPI (used by the counter simulator after it adds
+    /// measurement noise).
+    pub fn set_cpi(&mut self, cpi: f64) {
+        self.cpi = cpi;
+    }
+
+    /// Per-instruction density of one event.
+    pub fn get(&self, event: EventId) -> f64 {
+        self.densities[event.index()]
+    }
+
+    /// Sets the per-instruction density of one event.
+    pub fn set(&mut self, event: EventId, density: f64) {
+        self.densities[event.index()] = density;
+    }
+
+    /// Borrow of the full density vector, indexed by
+    /// [`EventId::index`](crate::events::EventId::index).
+    pub fn densities(&self) -> &[f64; N_EVENTS] {
+        &self.densities
+    }
+
+    /// Mutable borrow of the full density vector.
+    pub fn densities_mut(&mut self) -> &mut [f64; N_EVENTS] {
+        &mut self.densities
+    }
+
+    /// True if every density and the CPI are finite and non-negative.
+    pub fn is_physical(&self) -> bool {
+        self.cpi.is_finite()
+            && self.cpi >= 0.0
+            && self.densities.iter().all(|d| d.is_finite() && *d >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_sample() {
+        let s = Sample::zeros(1.5);
+        assert_eq!(s.cpi(), 1.5);
+        assert!(s.densities().iter().all(|&d| d == 0.0));
+        assert!(s.is_physical());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = Sample::zeros(1.0);
+        for (i, e) in EventId::ALL.iter().enumerate() {
+            s.set(*e, i as f64 * 0.01);
+        }
+        for (i, e) in EventId::ALL.iter().enumerate() {
+            assert_eq!(s.get(*e), i as f64 * 0.01);
+        }
+    }
+
+    #[test]
+    fn from_densities_roundtrip() {
+        let d: Vec<f64> = (0..N_EVENTS).map(|i| i as f64).collect();
+        let s = Sample::from_densities(2.0, &d);
+        assert_eq!(s.densities().as_slice(), d.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn from_densities_wrong_len_panics() {
+        Sample::from_densities(1.0, &[0.0; 3]);
+    }
+
+    #[test]
+    fn physical_checks() {
+        let mut s = Sample::zeros(1.0);
+        assert!(s.is_physical());
+        s.set(EventId::Load, -0.1);
+        assert!(!s.is_physical());
+        s.set(EventId::Load, f64::NAN);
+        assert!(!s.is_physical());
+        let mut s = Sample::zeros(f64::INFINITY);
+        assert!(!s.is_physical());
+        s.set_cpi(0.5);
+        assert!(s.is_physical());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Sample::zeros(0.9);
+        s.set(EventId::Simd, 0.42);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_then_get(idx in 0usize..N_EVENTS, v in 0.0f64..1.0) {
+            let mut s = Sample::zeros(1.0);
+            let e = EventId::from_index(idx).unwrap();
+            s.set(e, v);
+            prop_assert_eq!(s.get(e), v);
+            // Other events untouched.
+            for other in EventId::ALL {
+                if other != e {
+                    prop_assert_eq!(s.get(other), 0.0);
+                }
+            }
+        }
+    }
+}

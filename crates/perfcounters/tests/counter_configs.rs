@@ -1,0 +1,97 @@
+//! Counter-bank behavior across non-default configurations.
+
+use perfcounters::counters::{CounterBank, CounterConfig};
+use perfcounters::{EventId, Sample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn truth() -> Sample {
+    let mut s = Sample::zeros(1.0);
+    s.set(EventId::L2Miss, 3e-4);
+    s.set(EventId::Load, 0.3);
+    s
+}
+
+fn measured_sd(bank: &CounterBank, event: EventId, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = truth();
+    let xs: Vec<f64> = (0..n).map(|_| bank.measure(&t, &mut rng).get(event)).collect();
+    mathkit::describe::std_dev(&xs).unwrap()
+}
+
+#[test]
+fn fewer_programmable_counters_mean_more_noise() {
+    // With 1 programmable counter each event is observed for half the
+    // window it gets with 2 counters: noise grows by ~sqrt(2).
+    let two = CounterBank::new(CounterConfig {
+        programmable_counters: 2,
+        ..Default::default()
+    });
+    let one = CounterBank::new(CounterConfig {
+        programmable_counters: 1,
+        ..Default::default()
+    });
+    assert_eq!(two.rotation_slots(), 10);
+    assert_eq!(one.rotation_slots(), 19);
+    let sd_two = measured_sd(&two, EventId::L2Miss, 4000, 1);
+    let sd_one = measured_sd(&one, EventId::L2Miss, 4000, 2);
+    let ratio = sd_one / sd_two;
+    assert!(
+        (1.2..1.6).contains(&ratio),
+        "noise ratio {ratio}, expected ~sqrt(19/10) = 1.38"
+    );
+}
+
+#[test]
+fn longer_intervals_mean_less_noise() {
+    let short = CounterBank::new(CounterConfig {
+        interval_instructions: 500_000,
+        ..Default::default()
+    });
+    let long = CounterBank::new(CounterConfig {
+        interval_instructions: 8_000_000,
+        ..Default::default()
+    });
+    let sd_short = measured_sd(&short, EventId::L2Miss, 4000, 3);
+    let sd_long = measured_sd(&long, EventId::L2Miss, 4000, 4);
+    // 16x more instructions -> 4x less relative noise.
+    let ratio = sd_short / sd_long;
+    assert!((3.0..5.5).contains(&ratio), "ratio {ratio}, expected ~4");
+}
+
+#[test]
+fn five_counter_paper_configuration() {
+    let bank = CounterBank::default();
+    assert_eq!(bank.config().interval_instructions, 2_000_000);
+    assert_eq!(bank.config().programmable_counters, 2);
+    // Each event observed for 200k instructions.
+    assert_eq!(bank.observation_window(), 200_000);
+}
+
+#[test]
+fn degenerate_single_slot_window() {
+    // Tiny interval: window clamps to at least 1 instruction.
+    let bank = CounterBank::new(CounterConfig {
+        interval_instructions: 3,
+        ..Default::default()
+    });
+    assert!(bank.observation_window() >= 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = bank.measure(&truth(), &mut rng);
+    assert!(m.is_physical());
+}
+
+#[test]
+fn relative_error_prediction_matches_interval_scaling() {
+    let short = CounterBank::new(CounterConfig {
+        interval_instructions: 1_000_000,
+        ..Default::default()
+    });
+    let long = CounterBank::new(CounterConfig {
+        interval_instructions: 4_000_000,
+        ..Default::default()
+    });
+    let p = 1e-4;
+    let r = short.relative_std_err(p) / long.relative_std_err(p);
+    assert!((r - 2.0).abs() < 1e-9, "predicted ratio {r}");
+}

@@ -1,0 +1,77 @@
+//! Robustness: the CSV and ARFF parsers must reject arbitrary garbage
+//! with an error — never panic — and round-trip what they accept.
+
+use perfcounters::arff::{from_arff, to_arff};
+use perfcounters::{Dataset, EventId, Sample};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn csv_parser_never_panics(input in ".{0,400}") {
+        // Any outcome is fine except a panic.
+        let _ = Dataset::from_csv(input.as_bytes());
+    }
+
+    #[test]
+    fn arff_parser_never_panics(input in ".{0,400}") {
+        let _ = from_arff(input.as_bytes());
+    }
+
+    #[test]
+    fn csv_with_valid_header_and_garbage_rows(rows in proptest::collection::vec("[a-z0-9,.\\-]{0,60}", 0..10)) {
+        // Construct a valid header, then arbitrary junk rows: must never
+        // panic, and must error unless every row happens to be valid.
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark("x");
+        ds.push(Sample::zeros(1.0), l);
+        let mut buf = Vec::new();
+        ds.to_csv(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        for row in &rows {
+            text.push_str(row);
+            text.push('\n');
+        }
+        let _ = Dataset::from_csv(text.as_bytes());
+    }
+
+    #[test]
+    fn csv_roundtrip_arbitrary_values(
+        cpi in 0.0f64..10.0,
+        dtlb in 0.0f64..1.0,
+        simd in 0.0f64..1.0,
+        name in "[A-Za-z0-9._]{1,20}",
+    ) {
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark(&name);
+        let mut s = Sample::zeros(cpi);
+        s.set(EventId::DtlbMiss, dtlb);
+        s.set(EventId::Simd, simd);
+        ds.push(s, l);
+        let mut buf = Vec::new();
+        ds.to_csv(&mut buf).unwrap();
+        let back = Dataset::from_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert!((back.sample(0).cpi() - cpi).abs() < 1e-12);
+        prop_assert!((back.sample(0).get(EventId::DtlbMiss) - dtlb).abs() < 1e-12);
+        prop_assert_eq!(back.benchmark_name(0), Some(name.as_str()));
+    }
+
+    #[test]
+    fn arff_roundtrip_arbitrary_values(
+        cpi in 0.0f64..10.0,
+        load in 0.0f64..1.0,
+        name in "[A-Za-z0-9._]{1,20}",
+    ) {
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark(&name);
+        let mut s = Sample::zeros(cpi);
+        s.set(EventId::Load, load);
+        ds.push(s, l);
+        let mut buf = Vec::new();
+        to_arff(&ds, "prop", &mut buf).unwrap();
+        let back = from_arff(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert!((back.sample(0).cpi() - cpi).abs() < 1e-12);
+        prop_assert!((back.sample(0).get(EventId::Load) - load).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Non-parametric two-sample tests.
+//!
+//! The paper names "non-parametric tests such as Leven's \[sic\] and
+//! Mann-Whitney tests" as the alternatives to the two-sample t-test;
+//! both are provided here. Mann-Whitney uses the large-sample normal
+//! approximation with tie correction (sample sizes in this domain are in
+//! the tens of thousands); Levene's test uses the Brown–Forsythe
+//! (median-centered) variant by default, which is robust for the skewed
+//! CPI distributions counters produce.
+
+use crate::{Result, StatsError};
+use mathkit::describe::{mean, median};
+use mathkit::dist::Normal;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a non-parametric test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonParametricResult {
+    /// The test statistic (z for Mann-Whitney, W for Levene).
+    pub statistic: f64,
+    /// Two-sided p-value (approximate).
+    pub p_value: f64,
+}
+
+impl NonParametricResult {
+    /// True if the null hypothesis is rejected at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Mann-Whitney U test (two-sided, normal approximation with tie
+/// correction): `H0` = the two samples come from the same distribution.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample is empty or
+/// the combined sample is smaller than 8 (the normal approximation is
+/// meaningless below that).
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<NonParametricResult> {
+    if a.is_empty() || b.is_empty() || a.len() + b.len() < 8 {
+        return Err(StatsError::InsufficientData(format!(
+            "need non-empty samples with combined size >= 8, got {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let n = na + nb;
+
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&x| (x, true))
+        .chain(b.iter().map(|&x| (x, false)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut rank_sum_a = 0.0;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let count = (j - i + 1) as f64;
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_a += midrank;
+            }
+        }
+        if count > 1.0 {
+            tie_term += count * count * count - count;
+        }
+        i = j + 1;
+    }
+
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let mean_u = na * nb / 2.0;
+    let var_u = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        // Completely tied data: no evidence of difference.
+        return Ok(NonParametricResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        });
+    }
+    // Continuity correction. Note f64::signum(0.0) is 1.0, so guard the
+    // exactly-central case explicitly to keep the statistic antisymmetric.
+    let diff = u_a - mean_u;
+    let correction = if diff == 0.0 { 0.0 } else { 0.5 * diff.signum() };
+    let z = (diff - correction) / var_u.sqrt();
+    let p = 2.0 * Normal::standard().sf(z.abs());
+    Ok(NonParametricResult {
+        statistic: z,
+        p_value: p.min(1.0),
+    })
+}
+
+/// Centering choice for Levene's test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeveneCenter {
+    /// Classic Levene: deviations from the group mean.
+    Mean,
+    /// Brown–Forsythe: deviations from the group median (robust).
+    Median,
+}
+
+/// Levene's test for equality of variances across two samples:
+/// `H0` = equal variances. Returns the F-like W statistic with a normal
+/// approximation to its p-value via the large-sample chi-square/1
+/// equivalence (adequate at the sample sizes this workspace uses).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer
+/// than 3 elements.
+pub fn levene_test(a: &[f64], b: &[f64], center: LeveneCenter) -> Result<NonParametricResult> {
+    if a.len() < 3 || b.len() < 3 {
+        return Err(StatsError::InsufficientData(format!(
+            "need >= 3 samples on each side, got {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let center_of = |xs: &[f64]| -> f64 {
+        match center {
+            LeveneCenter::Mean => mean(xs).expect("non-empty"),
+            LeveneCenter::Median => median(xs).expect("non-empty"),
+        }
+    };
+    let ca = center_of(a);
+    let cb = center_of(b);
+    let za: Vec<f64> = a.iter().map(|x| (x - ca).abs()).collect();
+    let zb: Vec<f64> = b.iter().map(|x| (x - cb).abs()).collect();
+
+    let ma = mean(&za).expect("non-empty");
+    let mb = mean(&zb).expect("non-empty");
+    let na = za.len() as f64;
+    let nb = zb.len() as f64;
+    let grand = (na * ma + nb * mb) / (na + nb);
+
+    let between = na * (ma - grand) * (ma - grand) + nb * (mb - grand) * (mb - grand);
+    let within: f64 = za.iter().map(|z| (z - ma) * (z - ma)).sum::<f64>()
+        + zb.iter().map(|z| (z - mb) * (z - mb)).sum::<f64>();
+    if within == 0.0 {
+        return Ok(NonParametricResult {
+            statistic: if between == 0.0 { 0.0 } else { f64::INFINITY },
+            p_value: if between == 0.0 { 1.0 } else { 0.0 },
+        });
+    }
+    let dof2 = na + nb - 2.0;
+    let w = dof2 * between / within; // F(1, dof2)
+    // F(1, large dof2) ~ chi2(1) = z^2: two-sided normal p on sqrt(W).
+    let p = 2.0 * Normal::standard().sf(w.max(0.0).sqrt());
+    Ok(NonParametricResult {
+        statistic: w,
+        p_value: p.min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| mathkit::sampling::normal(&mut rng, mean, sd))
+            .collect()
+    }
+
+    #[test]
+    fn mann_whitney_accepts_same_distribution() {
+        let a = normal_sample(3000, 1.0, 0.5, 1);
+        let b = normal_sample(3000, 1.0, 0.5, 2);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(!r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_rejects_shifted() {
+        let a = normal_sample(3000, 1.0, 0.5, 3);
+        let b = normal_sample(3000, 1.3, 0.5, 4);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.significant_at(1e-6));
+        assert!(r.statistic.abs() > 5.0);
+    }
+
+    #[test]
+    fn mann_whitney_handles_ties() {
+        let a = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let b = vec![1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value > 0.2);
+    }
+
+    #[test]
+    fn mann_whitney_fully_tied_data() {
+        let a = vec![5.0; 20];
+        let b = vec![5.0; 20];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_detects_distribution_difference_with_equal_means() {
+        // Same mean, very different shape: a uniform vs bimodal extremes.
+        let a: Vec<f64> = (0..2000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { 0.45 } else { 0.55 })
+            .collect();
+        // Mann-Whitney tests stochastic ordering; these overlap heavily so
+        // it may accept — mostly a smoke test that it runs with weird data.
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value.is_finite());
+    }
+
+    #[test]
+    fn mann_whitney_input_validation() {
+        assert!(mann_whitney_u(&[], &[1.0; 10]).is_err());
+        assert!(mann_whitney_u(&[1.0, 2.0], &[3.0]).is_err());
+    }
+
+    #[test]
+    fn levene_accepts_equal_variances() {
+        let a = normal_sample(2000, 0.0, 1.0, 5);
+        let b = normal_sample(2000, 5.0, 1.0, 6); // different mean, same sd
+        for center in [LeveneCenter::Mean, LeveneCenter::Median] {
+            let r = levene_test(&a, &b, center).unwrap();
+            assert!(!r.significant_at(0.01), "{center:?}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn levene_rejects_unequal_variances() {
+        let a = normal_sample(2000, 0.0, 1.0, 7);
+        let b = normal_sample(2000, 0.0, 3.0, 8);
+        for center in [LeveneCenter::Mean, LeveneCenter::Median] {
+            let r = levene_test(&a, &b, center).unwrap();
+            assert!(r.significant_at(1e-6), "{center:?}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn levene_constant_samples() {
+        let a = vec![1.0; 10];
+        let b = vec![1.0; 10];
+        let r = levene_test(&a, &b, LeveneCenter::Mean).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn levene_input_validation() {
+        assert!(levene_test(&[1.0, 2.0], &[1.0, 2.0, 3.0], LeveneCenter::Mean).is_err());
+    }
+}

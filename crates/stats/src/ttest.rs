@@ -1,0 +1,364 @@
+//! Two-sample and paired Student-t tests.
+//!
+//! Follows the paper's Section VI-A: means and variances are estimated
+//! with the unbiased estimators of Equations 8 and 9, the standard error
+//! of the mean difference with Equation 10, and the test statistic with
+//! Equation 11 (`t = (mu_1 - mu_2) / sigma_diff` on `n + m - 2` degrees
+//! of freedom for the pooled test).
+
+use crate::{Result, StatsError};
+use mathkit::describe::{mean, variance};
+use mathkit::dist::StudentT;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the first sample.
+    pub mean_a: f64,
+    /// Mean of the second sample.
+    pub mean_b: f64,
+    /// Standard error of the mean difference (Equation 10's
+    /// `sigma_hat`).
+    pub std_err: f64,
+}
+
+impl TTestResult {
+    /// True if the null hypothesis (equal means) is rejected at level
+    /// `alpha` (two-sided).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `alpha` is not in `(0, 1)`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        debug_assert!(alpha > 0.0 && alpha < 1.0);
+        self.p_value < alpha
+    }
+
+    /// The two-sided critical value `t*` at level `alpha`; the paper
+    /// compares `|t|` against 1.960 at 95% with large samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `alpha` is not in `(0, 1)`.
+    pub fn critical_value(&self, alpha: f64) -> Result<f64> {
+        let dist = StudentT::new(self.dof)
+            .map_err(|e| StatsError::Domain(e.to_string()))?;
+        dist.two_sided_critical(alpha)
+            .map_err(|e| StatsError::Domain(e.to_string()))
+    }
+}
+
+fn finalize(statistic: f64, dof: f64, mean_a: f64, mean_b: f64, std_err: f64) -> TTestResult {
+    let dist = StudentT::new(dof.max(1.0)).expect("dof >= 1");
+    TTestResult {
+        statistic,
+        dof,
+        p_value: dist.two_sided_p(statistic),
+        mean_a,
+        mean_b,
+        std_err,
+    }
+}
+
+/// Unequal-variance (Welch) two-sample t-test — the form of Equations
+/// 10–11, which the paper notes is "robust against unequal variance when
+/// the number of instances ... are not very different".
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer
+/// than 2 elements.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InsufficientData(format!(
+            "need >= 2 samples on each side, got {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let (ma, mb) = (mean(a).expect("non-empty"), mean(b).expect("non-empty"));
+    let (va, vb) = (
+        variance(a).expect("len >= 2"),
+        variance(b).expect("len >= 2"),
+    );
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let sea = va / na;
+    let seb = vb / nb;
+    let se = (sea + seb).sqrt();
+    if se == 0.0 {
+        // Identical constants on both sides: no evidence of difference.
+        return Ok(finalize(0.0, na + nb - 2.0, ma, mb, 0.0));
+    }
+    // Welch–Satterthwaite degrees of freedom.
+    let dof = (sea + seb) * (sea + seb)
+        / (sea * sea / (na - 1.0) + seb * seb / (nb - 1.0));
+    Ok(finalize((ma - mb) / se, dof, ma, mb, se))
+}
+
+/// Pooled-variance two-sample t-test on `n + m - 2` degrees of freedom,
+/// the classical form referenced by Equation 11.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer
+/// than 2 elements.
+pub fn two_sample_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InsufficientData(format!(
+            "need >= 2 samples on each side, got {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let (ma, mb) = (mean(a).expect("non-empty"), mean(b).expect("non-empty"));
+    let (va, vb) = (
+        variance(a).expect("len >= 2"),
+        variance(b).expect("len >= 2"),
+    );
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let dof = na + nb - 2.0;
+    let pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / dof;
+    let se = (pooled * (1.0 / na + 1.0 / nb)).sqrt();
+    if se == 0.0 {
+        return Ok(finalize(0.0, dof, ma, mb, 0.0));
+    }
+    Ok(finalize((ma - mb) / se, dof, ma, mb, se))
+}
+
+/// Paired t-test on per-element differences (e.g. predicted vs actual on
+/// the same test intervals).
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] if the slices differ in length.
+/// * [`StatsError::InsufficientData`] if fewer than 2 pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() != b.len() {
+        return Err(StatsError::LengthMismatch(format!(
+            "{} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    if a.len() < 2 {
+        return Err(StatsError::InsufficientData(format!(
+            "need >= 2 pairs, got {}",
+            a.len()
+        )));
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let md = mean(&diffs).expect("non-empty");
+    let vd = variance(&diffs).expect("len >= 2");
+    let n = diffs.len() as f64;
+    let se = (vd / n).sqrt();
+    let dof = n - 1.0;
+    let (ma, mb) = (mean(a).expect("non-empty"), mean(b).expect("non-empty"));
+    if se == 0.0 {
+        // All differences identical: either exactly zero (no evidence)
+        // or a perfectly constant shift (infinitely strong evidence).
+        return Ok(TTestResult {
+            statistic: if md == 0.0 { 0.0 } else { f64::INFINITY },
+            dof,
+            p_value: if md == 0.0 { 1.0 } else { 0.0 },
+            mean_a: ma,
+            mean_b: mb,
+            std_err: 0.0,
+        });
+    }
+    Ok(finalize(md / se, dof, ma, mb, se))
+}
+
+/// Cohen's d effect size for two independent samples (pooled-sd
+/// standardized mean difference). Complements the t statistic: with the
+/// paper's huge samples, even negligible differences are "significant",
+/// so the effect size says whether a rejection matters.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer
+/// than 2 elements.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InsufficientData(format!(
+            "need >= 2 samples on each side, got {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let (ma, mb) = (mean(a).expect("non-empty"), mean(b).expect("non-empty"));
+    let (va, vb) = (
+        variance(a).expect("len >= 2"),
+        variance(b).expect("len >= 2"),
+    );
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let pooled = (((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0)).sqrt();
+    if pooled == 0.0 {
+        return Ok(if ma == mb { 0.0 } else { f64::INFINITY.copysign(ma - mb) });
+    }
+    Ok((ma - mb) / pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| mathkit::sampling::normal(&mut rng, mean, sd))
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_accept_null() {
+        let a = normal_sample(5000, 1.0, 0.5, 1);
+        let b = normal_sample(5000, 1.0, 0.5, 2);
+        for result in [
+            two_sample_t_test(&a, &b).unwrap(),
+            welch_t_test(&a, &b).unwrap(),
+        ] {
+            assert!(
+                !result.significant_at(0.01),
+                "t = {}, p = {}",
+                result.statistic,
+                result.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_distributions_reject_null() {
+        let a = normal_sample(5000, 1.0, 0.5, 3);
+        let b = normal_sample(5000, 1.2, 0.5, 4);
+        for result in [
+            two_sample_t_test(&a, &b).unwrap(),
+            welch_t_test(&a, &b).unwrap(),
+        ] {
+            assert!(result.significant_at(0.001));
+            assert!(result.statistic.abs() > 10.0);
+        }
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic small-sample check (pooled): a = {1,2,3,4,5},
+        // b = {3,4,5,6,7}: t = -2/(sqrt(2.5)*sqrt(2/5)) = -2.0.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let r = two_sample_t_test(&a, &b).unwrap();
+        assert!((r.statistic + 2.0).abs() < 1e-12);
+        assert_eq!(r.dof, 8.0);
+        // p-value for |t|=2 on 8 dof is ~0.0805.
+        assert!((r.p_value - 0.0805).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_dof_below_pooled_for_unequal_variances() {
+        let a = normal_sample(100, 0.0, 0.1, 5);
+        let b = normal_sample(100, 0.0, 3.0, 6);
+        let w = welch_t_test(&a, &b).unwrap();
+        let p = two_sample_t_test(&a, &b).unwrap();
+        assert!(w.dof < p.dof);
+    }
+
+    #[test]
+    fn paired_detects_small_systematic_shift() {
+        let a = normal_sample(2000, 1.0, 0.5, 7);
+        let b: Vec<f64> = a.iter().map(|x| x + 0.02).collect();
+        // Unpaired can't see a 0.02 shift under sd 0.5 at n=2000, paired
+        // can (the difference is exactly constant).
+        let unpaired = two_sample_t_test(&a, &b).unwrap();
+        let paired = paired_t_test(&a, &b).unwrap();
+        assert!(!unpaired.significant_at(0.05));
+        assert!(paired.significant_at(0.001));
+    }
+
+    #[test]
+    fn paired_identical_is_insignificant() {
+        let a = normal_sample(100, 1.0, 0.5, 8);
+        let r = paired_t_test(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(two_sample_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[], &[1.0, 2.0]).is_err());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(paired_t_test(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_samples_handled() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        let r = two_sample_t_test(&a, &b).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn critical_value_matches_large_sample_1960() {
+        // The paper: "the test rejects the Null hypothesis ... at 95%"
+        // whenever |t| > 1.960 for large samples.
+        let a = normal_sample(10000, 1.0, 0.5, 9);
+        let b = normal_sample(10000, 1.0, 0.5, 10);
+        let r = two_sample_t_test(&a, &b).unwrap();
+        let crit = r.critical_value(0.05).unwrap();
+        assert!((crit - 1.960).abs() < 1e-2, "crit {crit}");
+    }
+
+    #[test]
+    fn cohens_d_known_cases() {
+        // One pooled-sd separation.
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| x + a.len() as f64 * 0.0 + 1.5811388).collect();
+        // sd of a (and b) = sqrt(2.5) = 1.5811; shift by exactly 1 sd.
+        let d = cohens_d(&b, &a).unwrap();
+        assert!((d - 1.0).abs() < 1e-6, "d = {d}");
+        // Identical samples: zero effect.
+        assert_eq!(cohens_d(&a, &a).unwrap(), 0.0);
+        // Antisymmetry.
+        assert!((cohens_d(&a, &b).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cohens_d_large_sample_insensitivity() {
+        // Unlike t, d does not blow up with n: a fixed 0.1-sd shift gives
+        // d ~ 0.1 at any size.
+        for n in [100usize, 10_000] {
+            let a = normal_sample(n, 0.0, 1.0, 20);
+            let b = normal_sample(n, 0.1, 1.0, 21);
+            let d = cohens_d(&b, &a).unwrap();
+            assert!((d - 0.1).abs() < 0.06, "n={n}: d = {d}");
+        }
+    }
+
+    #[test]
+    fn cohens_d_degenerate() {
+        assert!(cohens_d(&[1.0], &[1.0, 2.0]).is_err());
+        let flat = [2.0, 2.0, 2.0];
+        assert_eq!(cohens_d(&flat, &flat).unwrap(), 0.0);
+        assert_eq!(cohens_d(&[3.0, 3.0], &[2.0, 2.0]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn result_serde_roundtrip() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        let r = two_sample_t_test(&a, &b).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TTestResult = serde_json::from_str(&json).unwrap();
+        assert!((back.statistic - r.statistic).abs() < 1e-12);
+    }
+}

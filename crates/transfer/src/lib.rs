@@ -1,0 +1,555 @@
+//! Model-transferability assessment (the paper's Section VI).
+//!
+//! A performance model built using data from workload suite P is
+//! *transferable* to suite Q if it can be used to accurately study the
+//! performance of Q. This crate packages the paper's two assessment
+//! methodologies behind one entry point,
+//! [`TransferabilityReport::assess`]:
+//!
+//! 1. **Two-sample hypothesis testing** (Section VI-A): a t-test of
+//!    `H0: P1 = P2` comparing the training and test CPI distributions,
+//!    and a t-test of `H0: P_pred = P2` comparing predicted-vs-actual
+//!    CPI on the test set — plus the same tests on selected independent
+//!    variables, and a Mann-Whitney U test as the non-parametric check.
+//! 2. **Prediction-accuracy metrics** (Section VI-B): the correlation
+//!    coefficient `C` and mean absolute error with the paper's
+//!    acceptance thresholds (`C > 0.85`, `MAE <= 0.15`).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use modeltree::{M5Config, ModelTree};
+//! use rand::SeedableRng;
+//! use transfer::{TransferConfig, TransferabilityReport};
+//! use workloads::generator::{GeneratorConfig, Suite};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let gen = GeneratorConfig::default();
+//! let cpu = Suite::cpu2006().generate(&mut rng, 20_000, &gen);
+//! let (train, test) = cpu.split_random(&mut rng, 0.1);
+//! let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+//! let report = TransferabilityReport::assess(
+//!     &tree, &train, &test, "CPU2006 (10%)", "CPU2006 (rest)",
+//!     &TransferConfig::default(),
+//! ).unwrap();
+//! assert!(report.accuracy_transferable());
+//! ```
+
+use modeltree::ModelTree;
+use perfcounters::{Dataset, EventId};
+use serde::{Deserialize, Serialize};
+use spec_stats::metrics::{AcceptanceThresholds, PredictionMetrics};
+use spec_stats::nonparametric::{mann_whitney_u, NonParametricResult};
+use spec_stats::ttest::{cohens_d, welch_t_test, TTestResult};
+use spec_stats::StatsError;
+use std::fmt::Write as _;
+
+/// Configuration of a transferability assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Significance level for the hypothesis tests (two-sided).
+    pub alpha: f64,
+    /// Accuracy acceptance thresholds.
+    pub thresholds: AcceptanceThresholds,
+    /// Independent variables to compare between the datasets (the paper
+    /// notes "similar conclusions can be reached if the above procedure
+    /// were repeated for several independent variables such as
+    /// LdBlkOlp").
+    pub tested_events: Vec<EventId>,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            alpha: 0.05,
+            thresholds: AcceptanceThresholds::default(),
+            tested_events: vec![EventId::LdBlkOlp, EventId::DtlbMiss, EventId::Simd],
+        }
+    }
+}
+
+/// Errors from transferability assessment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TransferError {
+    /// A statistical routine failed (usually: a dataset too small).
+    Stats(StatsError),
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransferError::Stats(e) => Some(e),
+        }
+    }
+}
+
+impl From<StatsError> for TransferError {
+    fn from(e: StatsError) -> Self {
+        TransferError::Stats(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TransferError>;
+
+/// The hypothesis-testing half of an assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypothesisReport {
+    /// `H0: P1 = P2` on the dependent variable (train CPI vs test CPI).
+    pub cpi_datasets: TTestResult,
+    /// Cohen's d effect size of the CPI difference — the scale-free
+    /// complement to the t statistic (at the paper's sample counts even
+    /// negligible differences are "significant").
+    #[serde(default)]
+    pub cpi_effect_size: f64,
+    /// `H0: P_pred = P2` (predicted CPI vs actual CPI on the test set).
+    pub cpi_predicted: TTestResult,
+    /// The dataset-vs-dataset test repeated on independent variables.
+    pub event_tests: Vec<(EventId, TTestResult)>,
+    /// Non-parametric cross-check on the CPI distributions.
+    pub mann_whitney_cpi: NonParametricResult,
+}
+
+/// A complete transferability assessment of one (train suite, test
+/// suite) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferabilityReport {
+    /// Label of the training dataset (e.g. `"SPEC CPU2006 (10%)"`).
+    pub train_name: String,
+    /// Label of the test dataset.
+    pub test_name: String,
+    /// Hypothesis-testing results.
+    pub hypothesis: HypothesisReport,
+    /// Prediction-accuracy results.
+    pub metrics: PredictionMetrics,
+    /// The significance level used.
+    pub alpha: f64,
+    /// The accuracy thresholds used.
+    pub thresholds: AcceptanceThresholds,
+}
+
+impl TransferabilityReport {
+    /// Runs the full assessment: predicts the test set with `model`,
+    /// then applies both methodologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::Stats`] if either dataset is too small
+    /// for the tests (fewer than 2 samples).
+    pub fn assess(
+        model: &ModelTree,
+        train: &Dataset,
+        test: &Dataset,
+        train_name: &str,
+        test_name: &str,
+        config: &TransferConfig,
+    ) -> Result<TransferabilityReport> {
+        let train_cpi = train.cpis();
+        let test_cpi = test.cpis();
+        let predicted = model.predict_all(test);
+
+        let cpi_datasets = welch_t_test(&train_cpi, &test_cpi)?;
+        let cpi_effect_size = cohens_d(&train_cpi, &test_cpi)?;
+        let cpi_predicted = welch_t_test(&predicted, &test_cpi)?;
+        let mut event_tests = Vec::with_capacity(config.tested_events.len());
+        for &e in &config.tested_events {
+            let result = welch_t_test(&train.column(e), &test.column(e))?;
+            event_tests.push((e, result));
+        }
+        let mann_whitney_cpi = mann_whitney_u(&train_cpi, &test_cpi)?;
+        let metrics = PredictionMetrics::from_predictions(&predicted, &test_cpi)?;
+
+        Ok(TransferabilityReport {
+            train_name: train_name.to_owned(),
+            test_name: test_name.to_owned(),
+            hypothesis: HypothesisReport {
+                cpi_datasets,
+                cpi_effect_size,
+                cpi_predicted,
+                event_tests,
+                mann_whitney_cpi,
+            },
+            metrics,
+            alpha: config.alpha,
+            thresholds: config.thresholds,
+        })
+    }
+
+    /// Transferable by the hypothesis-testing methodology: both CPI
+    /// tests fail to reject their null hypotheses.
+    pub fn hypothesis_transferable(&self) -> bool {
+        !self.hypothesis.cpi_datasets.significant_at(self.alpha)
+            && !self.hypothesis.cpi_predicted.significant_at(self.alpha)
+    }
+
+    /// Transferable by the accuracy-metric methodology: `C` and MAE
+    /// within thresholds.
+    pub fn accuracy_transferable(&self) -> bool {
+        self.metrics.acceptable(&self.thresholds)
+    }
+
+    /// Overall verdict: both methodologies agree the model transfers.
+    pub fn transferable(&self) -> bool {
+        self.hypothesis_transferable() && self.accuracy_transferable()
+    }
+
+    /// Renders the report in the style of the paper's Section VI
+    /// narrative.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "transferability: {} -> {}",
+            self.train_name, self.test_name
+        );
+        let h = &self.hypothesis;
+        let _ = writeln!(
+            out,
+            "  H0 P1=P2 (CPI):        t = {:>9.3}, p = {:.3e}  [{}]",
+            h.cpi_datasets.statistic,
+            h.cpi_datasets.p_value,
+            if h.cpi_datasets.significant_at(self.alpha) {
+                "REJECTED"
+            } else {
+                "accepted"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  H0 Ppred=P2 (CPI):     t = {:>9.3}, p = {:.3e}  [{}]",
+            h.cpi_predicted.statistic,
+            h.cpi_predicted.p_value,
+            if h.cpi_predicted.significant_at(self.alpha) {
+                "REJECTED"
+            } else {
+                "accepted"
+            }
+        );
+        for (e, r) in &h.event_tests {
+            let _ = writeln!(
+                out,
+                "  H0 P1=P2 ({}):{}t = {:>9.3}, p = {:.3e}  [{}]",
+                e.short_name(),
+                " ".repeat(10usize.saturating_sub(e.short_name().len())),
+                r.statistic,
+                r.p_value,
+                if r.significant_at(self.alpha) {
+                    "REJECTED"
+                } else {
+                    "accepted"
+                }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  Mann-Whitney (CPI):    z = {:>9.3}, p = {:.3e}",
+            h.mann_whitney_cpi.statistic, h.mann_whitney_cpi.p_value
+        );
+        let _ = writeln!(
+            out,
+            "  effect size (CPI):     d = {:>9.3}",
+            h.cpi_effect_size
+        );
+        let _ = writeln!(out, "  accuracy: {}", self.metrics);
+        let _ = writeln!(
+            out,
+            "  verdict: hypothesis {}, accuracy {} => {}",
+            if self.hypothesis_transferable() {
+                "transferable"
+            } else {
+                "NOT transferable"
+            },
+            if self.accuracy_transferable() {
+                "transferable"
+            } else {
+                "NOT transferable"
+            },
+            if self.transferable() {
+                "TRANSFERABLE"
+            } else {
+                "NOT TRANSFERABLE"
+            }
+        );
+        out
+    }
+}
+
+/// One point of a training-fraction sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionPoint {
+    /// Fraction of the pool used for training.
+    pub fraction: f64,
+    /// Number of training samples.
+    pub n_train: usize,
+    /// Accuracy of the resulting model on the fixed test set.
+    pub metrics: PredictionMetrics,
+    /// Leaf count of the fitted tree.
+    pub n_leaves: usize,
+}
+
+/// Sweeps the training fraction, fitting one model per fraction on a
+/// random subset of `pool` and evaluating on the fixed `test` set — the
+/// study behind the paper's choice of a 10% training sample.
+///
+/// # Errors
+///
+/// Returns [`TransferError::Stats`] if the test set is too small, and
+/// propagates model-fit failures as a `Stats` error with the fit
+/// message.
+pub fn train_fraction_sweep(
+    pool: &Dataset,
+    test: &Dataset,
+    fractions: &[f64],
+    config: &modeltree::M5Config,
+    seed: u64,
+) -> Result<Vec<FractionPoint>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        let (train, _) = pool.split_random(&mut rng, fraction.clamp(0.0, 1.0));
+        let mut cfg = *config;
+        cfg.min_leaf = cfg.min_leaf.min((train.len() / 4).max(1));
+        cfg.min_split = cfg.min_split.max(2 * cfg.min_leaf);
+        let tree = ModelTree::fit(&train, &cfg)
+            .map_err(|e| TransferError::Stats(StatsError::InsufficientData(e.to_string())))?;
+        let metrics =
+            PredictionMetrics::from_predictions(&tree.predict_all(test), &test.cpis())?;
+        out.push(FractionPoint {
+            fraction,
+            n_train: train.len(),
+            metrics,
+            n_leaves: tree.n_leaves(),
+        });
+    }
+    Ok(out)
+}
+
+/// Bootstrap confidence intervals for the accuracy metrics of a model on
+/// a test set: returns `(correlation CI, MAE CI)`.
+///
+/// This extends the paper's point-estimate verdicts with uncertainty: a
+/// transferability decision is robust when the whole interval clears (or
+/// misses) the thresholds.
+///
+/// # Errors
+///
+/// Returns [`TransferError::Stats`] if the test set has fewer than 2
+/// samples or the bootstrap parameters are out of range.
+pub fn metric_confidence(
+    model: &ModelTree,
+    test: &Dataset,
+    n_resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<(spec_stats::BootstrapCi, spec_stats::BootstrapCi)> {
+    let predicted = model.predict_all(test);
+    let actual = test.cpis();
+    let c = spec_stats::correlation_ci(&predicted, &actual, n_resamples, confidence, seed)?;
+    let mae = spec_stats::mae_ci(&predicted, &actual, n_resamples, confidence, seed ^ 0x9e37)?;
+    Ok((c, mae))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modeltree::M5Config;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workloads::generator::{GeneratorConfig, Suite};
+
+    fn cpu_split(seed: u64, n: usize) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = Suite::cpu2006().generate(&mut rng, n, &GeneratorConfig::default());
+        data.split_random(&mut rng, 0.1)
+    }
+
+    #[test]
+    fn within_suite_is_transferable() {
+        let (train, test) = cpu_split(1, 12_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let report = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &test,
+            "CPU2006 (10%)",
+            "CPU2006 (rest)",
+            &TransferConfig::default(),
+        )
+        .unwrap();
+        assert!(report.accuracy_transferable(), "{}", report.render());
+        assert!(report.hypothesis_transferable(), "{}", report.render());
+        assert!(report.transferable());
+        assert!(report.metrics.correlation > 0.85);
+        assert!(report.metrics.mae < 0.15);
+    }
+
+    #[test]
+    fn cross_suite_is_not_transferable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = GeneratorConfig::default();
+        let cpu = Suite::cpu2006().generate(&mut rng, 8_000, &gen);
+        let omp = Suite::omp2001().generate(&mut rng, 8_000, &gen);
+        let (train, _) = cpu.split_random(&mut rng, 0.5);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let report = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &omp,
+            "CPU2006",
+            "OMP2001",
+            &TransferConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.transferable(), "{}", report.render());
+        // The paper's shape: cross-suite correlation collapses and MAE
+        // blows past the threshold.
+        assert!(report.metrics.mae > 0.15, "{}", report.metrics);
+        assert!(
+            report.hypothesis.cpi_datasets.significant_at(0.05)
+                || report.hypothesis.cpi_predicted.significant_at(0.05)
+        );
+    }
+
+    #[test]
+    fn event_tests_reported_for_configured_events() {
+        let (train, test) = cpu_split(3, 4_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let config = TransferConfig {
+            tested_events: vec![EventId::L2Miss],
+            ..Default::default()
+        };
+        let report =
+            TransferabilityReport::assess(&tree, &train, &test, "a", "b", &config).unwrap();
+        assert_eq!(report.hypothesis.event_tests.len(), 1);
+        assert_eq!(report.hypothesis.event_tests[0].0, EventId::L2Miss);
+    }
+
+    #[test]
+    fn tiny_datasets_error() {
+        let (train, _) = cpu_split(4, 4_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let mut tiny = Dataset::new();
+        let l = tiny.add_benchmark("x");
+        tiny.push(perfcounters::Sample::zeros(1.0), l);
+        let err = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &tiny,
+            "a",
+            "tiny",
+            &TransferConfig::default(),
+        );
+        assert!(matches!(err, Err(TransferError::Stats(_))));
+    }
+
+    #[test]
+    fn effect_size_small_within_large_across() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let gen = GeneratorConfig::default();
+        let cpu = Suite::cpu2006().generate(&mut rng, 6_000, &gen);
+        let omp = Suite::omp2001().generate(&mut rng, 6_000, &gen);
+        let (train, rest) = cpu.split_random(&mut rng, 0.1);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let config = TransferConfig::default();
+        let within =
+            TransferabilityReport::assess(&tree, &train, &rest, "c", "c", &config).unwrap();
+        let across =
+            TransferabilityReport::assess(&tree, &train, &omp, "c", "o", &config).unwrap();
+        assert!(within.hypothesis.cpi_effect_size.abs() < 0.1);
+        assert!(across.hypothesis.cpi_effect_size.abs() > 0.3);
+        assert!(within.render().contains("effect size"));
+    }
+
+    #[test]
+    fn render_mentions_verdict_and_tests() {
+        let (train, test) = cpu_split(5, 4_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let report = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &test,
+            "train",
+            "test",
+            &TransferConfig::default(),
+        )
+        .unwrap();
+        let text = report.render();
+        assert!(text.contains("H0 P1=P2"));
+        assert!(text.contains("Mann-Whitney"));
+        assert!(text.contains("verdict"));
+        assert!(text.contains("LdBlkOlp"));
+    }
+
+    #[test]
+    fn metric_confidence_brackets_report_metrics() {
+        let (train, test) = cpu_split(7, 6_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let report = TransferabilityReport::assess(
+            &tree, &train, &test, "a", "b", &TransferConfig::default(),
+        )
+        .unwrap();
+        let (c_ci, mae_ci) = metric_confidence(&tree, &test, 200, 0.95, 9).unwrap();
+        assert!((c_ci.point - report.metrics.correlation).abs() < 1e-12);
+        assert!((mae_ci.point - report.metrics.mae).abs() < 1e-12);
+        assert!(c_ci.lower <= c_ci.point && c_ci.point <= c_ci.upper);
+        // Within-suite: the whole C interval clears the 0.85 threshold.
+        assert!(c_ci.lower > 0.85, "{c_ci:?}");
+        assert!(mae_ci.upper < 0.15, "{mae_ci:?}");
+    }
+
+    #[test]
+    fn fraction_sweep_improves_then_saturates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = Suite::cpu2006().generate(&mut rng, 10_000, &GeneratorConfig::default());
+        let (pool, test) = data.split_random(&mut rng, 0.5);
+        let points = train_fraction_sweep(
+            &pool,
+            &test,
+            &[0.02, 0.1, 0.5, 1.0],
+            &ModelTree::fit(&pool, &M5Config::default().with_min_leaf(40))
+                .unwrap()
+                .config()
+                .clone(),
+            13,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        // Accuracy at the largest fraction beats the smallest.
+        let first = points.first().unwrap().metrics.mae;
+        let last = points.last().unwrap().metrics.mae;
+        assert!(last <= first + 1e-9, "no improvement: {first} -> {last}");
+        // Sample counts grow with the fraction.
+        for w in points.windows(2) {
+            assert!(w[0].n_train <= w[1].n_train);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (train, test) = cpu_split(6, 4_000);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let report = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &test,
+            "a",
+            "b",
+            &TransferConfig::default(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TransferabilityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.train_name, report.train_name);
+        assert_eq!(back.transferable(), report.transferable());
+    }
+}

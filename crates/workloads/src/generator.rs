@@ -1,0 +1,350 @@
+//! Suite-level dataset generation.
+//!
+//! A [`Suite`] owns its benchmark models and execution environment; the
+//! generator draws intervals benchmark-by-benchmark (allocating samples
+//! in proportion to instruction-count weights, matching the paper's
+//! "number of samples selected for each benchmark is proportional to the
+//! number of instructions required to execute that benchmark"), runs
+//! each interval through the latent cost model, and measures it through
+//! the multiplexed counter bank.
+
+use crate::costmodel::{CostModel, Environment};
+use crate::phases::BenchmarkModel;
+use crate::{cpu2006, omp2001};
+use perfcounters::counters::{CounterBank, CounterConfig};
+use perfcounters::events::EventId;
+use perfcounters::{Dataset, Sample};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of dataset generation: the counter architecture plus
+/// the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeneratorConfig {
+    /// Simulated PMU configuration (multiplexing noise etc.).
+    pub counters: CounterConfig,
+    /// Ground-truth cost model (CPI noise etc.).
+    pub cost: CostModel,
+}
+
+/// A benchmark suite: a named set of [`BenchmarkModel`]s sharing one
+/// execution [`Environment`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    name: String,
+    environment: Environment,
+    benchmarks: Vec<BenchmarkModel>,
+}
+
+impl Suite {
+    /// Creates a suite from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty.
+    pub fn new(name: &str, environment: Environment, benchmarks: Vec<BenchmarkModel>) -> Self {
+        assert!(!benchmarks.is_empty(), "suite must have benchmarks");
+        Suite {
+            name: name.to_owned(),
+            environment,
+            benchmarks,
+        }
+    }
+
+    /// The synthetic SPEC CPU2006 suite (29 benchmarks, single-threaded).
+    pub fn cpu2006() -> Self {
+        Suite::new(
+            "SPEC CPU2006",
+            Environment::SingleThreaded,
+            cpu2006::benchmarks(),
+        )
+    }
+
+    /// The synthetic SPEC OMP2001 medium suite (11 benchmarks,
+    /// multi-threaded).
+    pub fn omp2001() -> Self {
+        Suite::new(
+            "SPEC OMP2001",
+            Environment::MultiThreaded,
+            omp2001::benchmarks(),
+        )
+    }
+
+    /// Suite name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution environment (latent: not visible in any counter).
+    pub fn environment(&self) -> Environment {
+        self.environment
+    }
+
+    /// The benchmark models.
+    pub fn benchmarks(&self) -> &[BenchmarkModel] {
+        &self.benchmarks
+    }
+
+    /// The memory-hierarchy events scaled by
+    /// [`Suite::with_memory_pressure`].
+    pub const MEMORY_EVENTS: [EventId; 10] = [
+        EventId::L1DMiss,
+        EventId::L1IMiss,
+        EventId::L2Miss,
+        EventId::DtlbMiss,
+        EventId::LdBlkStA,
+        EventId::LdBlkStd,
+        EventId::LdBlkOlp,
+        EventId::SplitLoad,
+        EventId::SplitStore,
+        EventId::Misalign,
+    ];
+
+    /// Returns a copy of this suite with every phase's memory-hierarchy
+    /// event densities scaled by `factor` — a model of running smaller
+    /// input sets (`factor < 1`: working sets fit better, fewer misses)
+    /// or larger ones (`factor > 1`). The instruction mix is untouched.
+    #[must_use]
+    pub fn with_memory_pressure(mut self, factor: f64) -> Self {
+        self.name = format!("{} (memory x{factor})", self.name);
+        self.benchmarks = self
+            .benchmarks
+            .into_iter()
+            .map(|b| {
+                let name = b.name().to_owned();
+                let weight = b.weight();
+                let mut out = BenchmarkModel::new(&name, weight);
+                for phase in b.phases() {
+                    out = out.phase(phase.clone().with_scaled(&Self::MEMORY_EVENTS, factor));
+                }
+                out
+            })
+            .collect();
+        self
+    }
+
+    /// Number of samples each benchmark receives out of `total`,
+    /// proportional to instruction-count weight. The counts sum exactly
+    /// to `total` (largest-remainder rounding).
+    pub fn sample_allocation(&self, total: usize) -> Vec<usize> {
+        let weight_sum: f64 = self.benchmarks.iter().map(BenchmarkModel::weight).sum();
+        let exact: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| total as f64 * b.weight() / weight_sum)
+            .collect();
+        let mut counts: Vec<usize> = exact.iter().map(|x| x.floor() as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        // Distribute the remainder to the largest fractional parts.
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = exact[a] - exact[a].floor();
+            let fb = exact[b] - exact[b].floor();
+            fb.total_cmp(&fa)
+        });
+        let n_benchmarks = counts.len();
+        let mut cursor = 0;
+        while assigned < total {
+            counts[order[cursor % n_benchmarks]] += 1;
+            assigned += 1;
+            cursor += 1;
+        }
+        counts
+    }
+
+    /// Generates one measured interval for a benchmark model.
+    fn generate_one<R: Rng + ?Sized>(
+        &self,
+        bench: &BenchmarkModel,
+        config: &GeneratorConfig,
+        bank: &CounterBank,
+        rng: &mut R,
+    ) -> Sample {
+        let phase = bench.pick_phase(rng);
+        let densities = phase.sample_densities(rng);
+        let cpi = config.cost.noisy_cpi(&densities, self.environment, rng);
+        let truth = Sample::from_densities(cpi, &densities);
+        bank.measure(&truth, rng)
+    }
+
+    /// Generates a labeled dataset with `total` samples allocated across
+    /// benchmarks by weight. All benchmark names are registered even if a
+    /// tiny `total` leaves some with zero samples.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        total: usize,
+        config: &GeneratorConfig,
+    ) -> Dataset {
+        let bank = CounterBank::new(config.counters);
+        let counts = self.sample_allocation(total);
+        let mut ds = Dataset::with_capacity(total);
+        for b in &self.benchmarks {
+            ds.add_benchmark(b.name());
+        }
+        for (bench, &n) in self.benchmarks.iter().zip(&counts) {
+            let label = ds.add_benchmark(bench.name());
+            for _ in 0..n {
+                let sample = self.generate_one(bench, config, &bank, rng);
+                ds.push(sample, label);
+            }
+        }
+        ds
+    }
+
+    /// Generates `n` samples for a single benchmark (by name).
+    ///
+    /// Returns `None` if the benchmark is not part of this suite.
+    pub fn generate_benchmark<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        name: &str,
+        n: usize,
+        config: &GeneratorConfig,
+    ) -> Option<Dataset> {
+        let bench = self.benchmarks.iter().find(|b| b.name() == name)?;
+        let bank = CounterBank::new(config.counters);
+        let mut ds = Dataset::with_capacity(n);
+        let label = ds.add_benchmark(bench.name());
+        for _ in 0..n {
+            let sample = self.generate_one(bench, config, &bank, rng);
+            ds.push(sample, label);
+        }
+        Some(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cpu2006_suite_shape() {
+        let s = Suite::cpu2006();
+        assert_eq!(s.benchmarks().len(), 29);
+        assert_eq!(s.environment(), Environment::SingleThreaded);
+    }
+
+    #[test]
+    fn omp2001_suite_shape() {
+        let s = Suite::omp2001();
+        assert_eq!(s.benchmarks().len(), 11);
+        assert_eq!(s.environment(), Environment::MultiThreaded);
+    }
+
+    #[test]
+    fn allocation_sums_to_total() {
+        let s = Suite::cpu2006();
+        for total in [0, 1, 29, 100, 12345] {
+            let counts = s.sample_allocation(total);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+            assert_eq!(counts.len(), 29);
+        }
+    }
+
+    #[test]
+    fn allocation_roughly_proportional() {
+        let s = Suite::cpu2006();
+        let counts = s.sample_allocation(29_000);
+        let weight_sum: f64 = s.benchmarks().iter().map(|b| b.weight()).sum();
+        for (b, &c) in s.benchmarks().iter().zip(&counts) {
+            let expected = 29_000.0 * b.weight() / weight_sum;
+            assert!(
+                (c as f64 - expected).abs() <= 1.0,
+                "{}: {c} vs {expected}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generate_produces_labeled_physical_samples() {
+        let s = Suite::cpu2006();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = s.generate(&mut rng, 500, &GeneratorConfig::default());
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.benchmark_count(), 29);
+        for (sample, label) in ds.iter() {
+            assert!(sample.is_physical());
+            assert!(ds.benchmark_name(label).is_some());
+        }
+    }
+
+    #[test]
+    fn generate_benchmark_filters_by_name() {
+        let s = Suite::omp2001();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = s
+            .generate_benchmark(&mut rng, "330.art_m", 100, &GeneratorConfig::default())
+            .unwrap();
+        assert_eq!(ds.len(), 100);
+        assert!(s
+            .generate_benchmark(&mut rng, "999.nope", 10, &GeneratorConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn suite_mean_cpis_match_paper_bands() {
+        // Paper Section VI: CPU2006 mean CPI ~0.96, OMP2001 mean ~1.21,
+        // and OMP2001 is clearly higher.
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = GeneratorConfig::default();
+        let cpu = Suite::cpu2006().generate(&mut rng, 8000, &config);
+        let omp = Suite::omp2001().generate(&mut rng, 8000, &config);
+        let cpu_mean = cpu.cpi_summary().unwrap().mean();
+        let omp_mean = omp.cpi_summary().unwrap().mean();
+        assert!((0.75..1.2).contains(&cpu_mean), "cpu mean {cpu_mean}");
+        assert!((1.0..1.55).contains(&omp_mean), "omp mean {omp_mean}");
+        assert!(omp_mean > cpu_mean + 0.1);
+    }
+
+    #[test]
+    fn memory_pressure_scaling_shifts_miss_densities_and_cpi() {
+        let config = GeneratorConfig::default();
+        let light = Suite::cpu2006().with_memory_pressure(0.5);
+        let heavy = Suite::cpu2006();
+        assert!(light.name().contains("memory"));
+        let mut rng = StdRng::seed_from_u64(42);
+        let small = light.generate(&mut rng, 5_000, &config);
+        let mut rng = StdRng::seed_from_u64(42);
+        let full = heavy.generate(&mut rng, 5_000, &config);
+        let small_dtlb = small
+            .summary(perfcounters::EventId::DtlbMiss)
+            .unwrap()
+            .mean();
+        let full_dtlb = full
+            .summary(perfcounters::EventId::DtlbMiss)
+            .unwrap()
+            .mean();
+        assert!(
+            (small_dtlb / full_dtlb - 0.5).abs() < 0.1,
+            "dtlb ratio {}",
+            small_dtlb / full_dtlb
+        );
+        // Lighter memory pressure -> lower CPI.
+        assert!(
+            small.cpi_summary().unwrap().mean() < full.cpi_summary().unwrap().mean() - 0.05
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = Suite::cpu2006();
+        let config = GeneratorConfig::default();
+        let a = s.generate(&mut StdRng::seed_from_u64(7), 200, &config);
+        let b = s.generate(&mut StdRng::seed_from_u64(7), 200, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_counters_disable_noise() {
+        let mut config = GeneratorConfig::default();
+        config.counters.multiplexing_noise = false;
+        let s = Suite::cpu2006();
+        let mut rng = StdRng::seed_from_u64(8);
+        let ds = s.generate(&mut rng, 100, &config);
+        assert_eq!(ds.len(), 100);
+    }
+}

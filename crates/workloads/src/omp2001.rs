@@ -1,0 +1,268 @@
+//! Synthetic models of the 11 SPEC OMP2001 (medium) benchmarks.
+//!
+//! Phase mixtures follow the paper's Section V narrative: 314.mgrid_m and
+//! 332.ammp_m spend three quarters of their time in the
+//! load-block-overlap regime LM17; 328.fma3d_m and 318.galgel_m fall
+//! almost entirely into the store-rich LM18; 316.applu_m is SIMD+multiply
+//! heavy (LM16, high CPI); 320.equake_m is dominated by the branchy
+//! L2-bound LM14; 330.art_m is a low-CPI (≈0.53) scalar benchmark; and
+//! 312.swim_m / 310.wupwise_m are spread over the SIMD subtree.
+
+use crate::phases::{BenchmarkModel, Phase};
+use perfcounters::events::EventId::*;
+
+/// Number of benchmarks in SPEC OMP2001 (medium).
+pub const N_BENCHMARKS: usize = 11;
+
+/// Quiet scalar phase: the LM3 regime (CPI 0.53).
+fn quiet(weight: f64) -> Phase {
+    Phase::new("quiet", weight)
+        .with(MisprBr, 4.0e-4, 0.4)
+        .with(Mul, 3.0e-2, 0.6)
+}
+
+/// Scalar, store-sensitive, branchy phase: the LM2 regime.
+fn store_branchy(weight: f64) -> Phase {
+    Phase::new("store-branchy", weight)
+        .with(MisprBr, 2.0e-3, 0.3)
+        .with(Store, 0.12, 0.15)
+        .with(Mul, 4.0e-2, 0.6)
+}
+
+/// Scalar, L2-bound, misalignment-sensitive phase: the LM6 regime.
+fn misalign_l2(weight: f64) -> Phase {
+    Phase::new("misalign-l2", weight)
+        .with(L2Miss, 9.0e-4, 0.25)
+        .with(MisprBr, 4.0e-4, 0.4)
+        .with(L1DMiss, 1.5e-2, 0.3)
+        .with(Misalign, 2.0e-3, 0.4)
+        .with(Mul, 5.0e-2, 0.6)
+}
+
+/// Scalar, L2-bound, branchy phase (320.equake_m's LM14 regime).
+fn branchy_l2(weight: f64) -> Phase {
+    Phase::new("branchy-l2", weight)
+        .with(L2Miss, 9.0e-4, 0.25)
+        .with(MisprBr, 5.0e-3, 0.3)
+        .with(L1DMiss, 1.0e-2, 0.3)
+        .with(Mul, 4.0e-2, 0.6)
+}
+
+/// Load-block-overlap with moderate stores: the LM17 regime (CPI ≈ 1.16).
+fn overlap_moderate(weight: f64) -> Phase {
+    Phase::new("overlap-moderate", weight)
+        .with(LdBlkOlp, 1.2e-2, 0.25)
+        .with(Store, 0.05, 0.2)
+        .with(L1DMiss, 1.2e-2, 0.3)
+        .with(LdBlkStA, 1.0e-3, 0.35)
+        .with(PageWalk, 2.0e-4, 0.4)
+        .with(Br, 0.12, 0.12)
+        .with(Mul, 6.0e-2, 0.6)
+}
+
+/// Load-block-overlap with heavy stores: the LM18 regime (CPI ≈ 1.49).
+fn overlap_stores(weight: f64) -> Phase {
+    Phase::new("overlap-stores", weight)
+        .with(LdBlkOlp, 1.5e-2, 0.25)
+        .with(Store, 0.11, 0.1)
+        .with(DtlbMiss, 2.0e-3, 0.3)
+        .with_linked(PageWalk, DtlbMiss, 2.5, 0.2)
+        .with(Div, 1.0e-3, 0.5)
+        .with(Mul, 6.0e-2, 0.6)
+}
+
+/// SIMD + multiply heavy compute: 316.applu_m's LM16 regime (CPI ≈ 2.5).
+fn simd_mul(weight: f64) -> Phase {
+    Phase::new("simd-mul", weight)
+        .with(Simd, 0.70, 0.06)
+        .with(Mul, 0.12, 0.2)
+        .with(L1DMiss, 1.2e-2, 0.25)
+        .with(Br, 0.12, 0.12)
+}
+
+/// SIMD with misaligned operands: the LM11 plateau (CPI 2.79).
+fn simd_misalign(weight: f64) -> Phase {
+    Phase::new("simd-misalign", weight)
+        .with(Simd, 0.55, 0.1)
+        .with(Mul, 1.0e-2, 0.4)
+        .with(Misalign, 5.0e-3, 0.3)
+}
+
+/// SIMD with store-address blocks: the LM15 regime.
+fn simd_sta(weight: f64) -> Phase {
+    Phase::new("simd-sta", weight)
+        .with(Simd, 0.55, 0.1)
+        .with(Mul, 1.0e-2, 0.4)
+        .with(LdBlkStA, 2.0e-3, 0.3)
+        .with(PageWalk, 2.0e-4, 0.4)
+}
+
+/// Plain SIMD streaming: the LM13 regime (swim/mgrid style).
+fn simd_stream(weight: f64) -> Phase {
+    Phase::new("simd-stream", weight)
+        .with(Simd, 0.70, 0.06)
+        .with(Mul, 2.0e-2, 0.4)
+}
+
+/// The 11 benchmark models of SPEC OMP2001 (medium input set).
+pub fn benchmarks() -> Vec<BenchmarkModel> {
+    vec![
+        BenchmarkModel::new("310.wupwise_m", 1.1)
+            .phase(quiet(0.15))
+            .phase(store_branchy(0.20))
+            .phase(misalign_l2(0.25))
+            .phase(simd_stream(0.20))
+            .phase(simd_misalign(0.10))
+            .phase(overlap_moderate(0.10)),
+        BenchmarkModel::new("312.swim_m", 1.0)
+            .phase(simd_stream(0.75))
+            .phase(simd_mul(0.15))
+            .phase(overlap_moderate(0.10)),
+        BenchmarkModel::new("314.mgrid_m", 1.1)
+            .phase(overlap_moderate(0.85))
+            .phase(simd_stream(0.12))
+            .phase(quiet(0.03)),
+        BenchmarkModel::new("316.applu_m", 1.0)
+            .phase(simd_mul(0.75))
+            .phase(simd_stream(0.12))
+            .phase(simd_sta(0.08))
+            .phase(quiet(0.05)),
+        BenchmarkModel::new("318.galgel_m", 0.9)
+            .phase(overlap_stores(0.95))
+            .phase(quiet(0.05)),
+        BenchmarkModel::new("320.equake_m", 1.0)
+            .phase(branchy_l2(0.54))
+            .phase(misalign_l2(0.09))
+            .phase(simd_stream(0.09))
+            .phase(overlap_moderate(0.09))
+            .phase(overlap_stores(0.09))
+            .phase(quiet(0.10)),
+        BenchmarkModel::new("324.apsi_m", 1.0)
+            .phase(overlap_moderate(0.80))
+            .phase(simd_sta(0.12))
+            .phase(quiet(0.08)),
+        BenchmarkModel::new("326.gafort_m", 1.0)
+            .phase(store_branchy(0.50))
+            .phase(quiet(0.30))
+            .phase(overlap_moderate(0.20)),
+        BenchmarkModel::new("328.fma3d_m", 1.1)
+            .phase(overlap_stores(0.98))
+            .phase(quiet(0.02)),
+        BenchmarkModel::new("330.art_m", 0.9)
+            .phase(quiet(0.90))
+            .phase(store_branchy(0.10)),
+        BenchmarkModel::new("332.ammp_m", 1.0)
+            .phase(overlap_moderate(0.80))
+            .phase(simd_sta(0.12))
+            .phase(quiet(0.08)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::{CostModel, Environment, Regime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn regime_share(name: &str, regime: Regime, seed: u64) -> f64 {
+        let cm = CostModel::default();
+        let bs = benchmarks();
+        let b = bs.iter().find(|b| b.name() == name).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2000;
+        let mut hits = 0;
+        for _ in 0..n {
+            let phase = b.pick_phase(&mut rng);
+            let d = phase.sample_densities(&mut rng);
+            if cm.regime(&d, Environment::MultiThreaded) == regime {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn has_11_uniquely_named_benchmarks() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), N_BENCHMARKS);
+        let mut names: Vec<&str> = bs.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_BENCHMARKS);
+        assert!(names.iter().all(|n| n.ends_with("_m")));
+    }
+
+    #[test]
+    fn phase_weights_sum_to_one() {
+        for b in benchmarks() {
+            let total: f64 = b.phases().iter().map(|p| p.weight()).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: phase weights sum to {total}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fma3d_is_lm18_dominated() {
+        // Paper: "Over 95% of the execution time of ... 328.fma3d_m ...
+        // falls into this class [LM18]".
+        let share = regime_share("328.fma3d_m", Regime::OmpLm18, 1);
+        assert!(share > 0.9, "fma3d LM18 share {share}");
+    }
+
+    #[test]
+    fn mgrid_is_lm17_dominated() {
+        // Paper: "Three quarters of the execution time of ...
+        // 314.mgrid_m ... falls into LM17".
+        let share = regime_share("314.mgrid_m", Regime::OmpLm17, 2);
+        assert!((0.6..0.9).contains(&share), "mgrid LM17 share {share}");
+    }
+
+    #[test]
+    fn art_is_low_cpi() {
+        let cm = CostModel::default();
+        let bs = benchmarks();
+        let art = bs.iter().find(|b| b.name() == "330.art_m").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let phase = art.pick_phase(&mut rng);
+                let d = phase.sample_densities(&mut rng);
+                cm.true_cpi(&d, Environment::MultiThreaded)
+            })
+            .sum::<f64>()
+            / n as f64;
+        // Paper: art is "a low CPI (0.53) benchmark".
+        assert!((0.4..0.75).contains(&mean), "art mean CPI {mean}");
+    }
+
+    #[test]
+    fn applu_is_high_cpi_simd() {
+        let cm = CostModel::default();
+        let bs = benchmarks();
+        let applu = bs.iter().find(|b| b.name() == "316.applu_m").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let phase = applu.pick_phase(&mut rng);
+                let d = phase.sample_densities(&mut rng);
+                cm.true_cpi(&d, Environment::MultiThreaded)
+            })
+            .sum::<f64>()
+            / n as f64;
+        // Paper: "The average CPI of 1.99 is high due to the high average
+        // CPI from LM16."
+        assert!((1.55..2.4).contains(&mean), "applu mean CPI {mean}");
+    }
+
+    #[test]
+    fn galgel_lm18_share_high() {
+        let share = regime_share("318.galgel_m", Regime::OmpLm18, 5);
+        assert!(share > 0.85, "galgel LM18 share {share}");
+    }
+}
