@@ -61,9 +61,7 @@ impl RegressionTree {
             ));
         }
         if data.is_empty() {
-            return Err(BaselineError::InsufficientData(
-                "empty training set".into(),
-            ));
+            return Err(BaselineError::InsufficientData("empty training set".into()));
         }
         let mut tree = RegressionTree {
             nodes: Vec::new(),

@@ -84,11 +84,7 @@ impl Regressor for KnnRegressor {
         // k is small, so this beats sorting the whole distance vector.
         let mut best: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1);
         for (f, &y) in self.features.iter().zip(&self.targets) {
-            let dist: f64 = f
-                .iter()
-                .zip(&q)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let dist: f64 = f.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
             if best.len() < self.k || dist < best.last().expect("non-empty").0 {
                 let pos = best.partition_point(|&(d, _)| d < dist);
                 best.insert(pos, (dist, y));

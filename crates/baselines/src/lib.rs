@@ -53,7 +53,9 @@ pub trait Regressor {
 
     /// Predictions for every sample of a dataset.
     fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i)))
+            .collect()
     }
 
     /// Mean absolute error over a dataset (0 if empty).

@@ -10,12 +10,16 @@ use workloads::generator::{GeneratorConfig, Suite};
 fn bench_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_m5");
     group.sample_size(10);
-    for &n in &[2_000usize, 8_000, 20_000] {
+    for &n in &[2_000usize, 8_000, 20_000, 50_000] {
         let mut rng = StdRng::seed_from_u64(1);
         let data = Suite::cpu2006().generate(&mut rng, n, &GeneratorConfig::default());
         let config = M5Config::default().with_min_leaf((n / 120).max(4));
         group.bench_with_input(BenchmarkId::new("cpu2006", n), &data, |b, data| {
             b.iter(|| ModelTree::fit(data, &config).unwrap())
+        });
+        let par_config = config.with_n_threads(4);
+        group.bench_with_input(BenchmarkId::new("cpu2006_par4", n), &data, |b, data| {
+            b.iter(|| ModelTree::fit(data, &par_config).unwrap())
         });
     }
     group.finish();

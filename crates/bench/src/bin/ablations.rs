@@ -84,16 +84,18 @@ fn main() {
         cfg.cost = cfg.cost.with_contention(contention);
         let mut rng = StdRng::seed_from_u64(SEED_CPU2006 + 2);
         let shifted = Suite::omp2001().generate(&mut rng, 10_000, &cfg);
-        let m = PredictionMetrics::from_predictions(
-            &omp_tree.predict_all(&shifted),
-            &shifted.cpis(),
-        )
-        .expect("metrics");
+        let m =
+            PredictionMetrics::from_predictions(&omp_tree.predict_all(&shifted), &shifted.cpis())
+                .expect("metrics");
         println!(
             "  contention {contention:>4.2}: C {:.4}  MAE {:.4}{}",
             m.correlation,
             m.mae,
-            if contention == 1.0 { "  <- training platform" } else { "" }
+            if contention == 1.0 {
+                "  <- training platform"
+            } else {
+                ""
+            }
         );
     }
     println!("(the paper: \"the results are specific to the architecture, platform, and");

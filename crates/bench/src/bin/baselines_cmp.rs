@@ -39,8 +39,15 @@ fn compare(suite_name: &str, data: &Dataset) {
     let knn = KnnRegressor::fit(&train, 15).expect("knn");
     // k-NN is O(n) per query; evaluate on a subsample for tractability.
     let mut rng = StdRng::seed_from_u64(SEED_SPLIT + 1);
-    let (test_small, _) = test.split_random(&mut rng, 2_000.0_f64.min(test.len() as f64) / test.len() as f64);
-    evaluate("k-NN (k=15, subsample)", &knn.predict_all(&test_small), &test_small);
+    let (test_small, _) = test.split_random(
+        &mut rng,
+        2_000.0_f64.min(test.len() as f64) / test.len() as f64,
+    );
+    evaluate(
+        "k-NN (k=15, subsample)",
+        &knn.predict_all(&test_small),
+        &test_small,
+    );
     println!();
 }
 

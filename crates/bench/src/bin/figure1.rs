@@ -7,7 +7,10 @@ use spec_bench::{cpu2006_dataset, fit_suite_tree};
 fn main() {
     let data = cpu2006_dataset();
     let tree = fit_suite_tree(&data);
-    println!("Figure 1: SPEC CPU2006 model tree ({} samples)\n", data.len());
+    println!(
+        "Figure 1: SPEC CPU2006 model tree ({} samples)\n",
+        data.len()
+    );
     println!("{}", display::render_summary(&tree));
     println!("{}", display::render_tree(&tree));
     println!("Leaf linear models (Section IV equations):\n");

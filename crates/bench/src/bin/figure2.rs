@@ -7,7 +7,10 @@ use spec_bench::{fit_suite_tree, omp2001_dataset};
 fn main() {
     let data = omp2001_dataset();
     let tree = fit_suite_tree(&data);
-    println!("Figure 2: SPEC OMP2001 model tree ({} samples)\n", data.len());
+    println!(
+        "Figure 2: SPEC OMP2001 model tree ({} samples)\n",
+        data.len()
+    );
     println!("{}", display::render_summary(&tree));
     println!("{}", display::render_tree(&tree));
     println!("Leaf linear models (Section V equations):\n");

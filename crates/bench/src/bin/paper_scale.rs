@@ -59,16 +59,40 @@ fn main() {
     let cpu_tree = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
     eprintln!("CPU2006 10% tree fitted in {:.1?}", t0.elapsed());
     let t0 = std::time::Instant::now();
-    let omp_tree = ModelTree::fit(&omp_train, &suite_tree_config(omp_train.len()))
-        .expect("omp fit");
+    let omp_tree =
+        ModelTree::fit(&omp_train, &suite_tree_config(omp_train.len())).expect("omp fit");
     eprintln!("OMP2001 10% tree fitted in {:.1?}", t0.elapsed());
 
     let tconfig = TransferConfig::default();
     for (tree, train, test, a, b) in [
-        (&cpu_tree, &cpu_train, &cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
-        (&cpu_tree, &cpu_train, &omp_train, "CPU2006 (10%)", "OMP2001 (10%)"),
-        (&omp_tree, &omp_train, &omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
-        (&omp_tree, &omp_train, &cpu_train, "OMP2001 (10%)", "CPU2006 (10%)"),
+        (
+            &cpu_tree,
+            &cpu_train,
+            &cpu_rest,
+            "CPU2006 (10%)",
+            "CPU2006 (rest)",
+        ),
+        (
+            &cpu_tree,
+            &cpu_train,
+            &omp_train,
+            "CPU2006 (10%)",
+            "OMP2001 (10%)",
+        ),
+        (
+            &omp_tree,
+            &omp_train,
+            &omp_rest,
+            "OMP2001 (10%)",
+            "OMP2001 (rest)",
+        ),
+        (
+            &omp_tree,
+            &omp_train,
+            &cpu_train,
+            "OMP2001 (10%)",
+            "CPU2006 (10%)",
+        ),
     ] {
         let report = TransferabilityReport::assess(tree, train, test, a, b, &tconfig)
             .expect("large datasets");

@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 use spec_bench::{
-    cpu2006_dataset, fit_suite_tree, omp2001_dataset, suite_tree_config, SEED_CPU2006,
-    SEED_OMP2001, SEED_SPLIT, N_SAMPLES,
+    cpu2006_dataset, fit_suite_tree, omp2001_dataset, suite_tree_config, N_SAMPLES, SEED_CPU2006,
+    SEED_OMP2001, SEED_SPLIT,
 };
 use spec_stats::PredictionMetrics;
 use transfer::{TransferConfig, TransferabilityReport};

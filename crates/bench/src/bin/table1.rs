@@ -7,9 +7,17 @@ fn main() {
     println!("Table I: CPU performance metrics used in this study");
     println!("(each PMU event is divided by INST_RETIRED.ANY; values are per-instruction)\n");
     println!("{:<12} {:<28} Description", "Metric", "PMU event");
-    println!("{:<12} {:<28} CPU clock cycles per instruction", "CPI", "CPU_CLK_UNHALTED.CORE");
+    println!(
+        "{:<12} {:<28} CPU clock cycles per instruction",
+        "CPI", "CPU_CLK_UNHALTED.CORE"
+    );
     for e in EventId::ALL {
-        println!("{:<12} {:<28} {}", e.short_name(), e.pmu_event_name(), e.description());
+        println!(
+            "{:<12} {:<28} {}",
+            e.short_name(),
+            e.pmu_event_name(),
+            e.description()
+        );
     }
     println!("\nfixed counters: {}", FIXED_COUNTERS.join(", "));
     println!("multiplexing interval (sample width): {INTERVAL_INSTRUCTIONS} instructions");

@@ -36,17 +36,29 @@ fn main() {
     println!("(paper: CPU2006 mean 0.96 sd 0.53; OMP2001 mean 1.21 sd 0.60)\n");
 
     let cases = [
-        (&cpu_tree, &cpu_train, &cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
+        (
+            &cpu_tree,
+            &cpu_train,
+            &cpu_rest,
+            "CPU2006 (10%)",
+            "CPU2006 (rest)",
+        ),
         (&cpu_tree, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
-        (&omp_tree, &omp_train, &omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
+        (
+            &omp_tree,
+            &omp_train,
+            &omp_rest,
+            "OMP2001 (10%)",
+            "OMP2001 (rest)",
+        ),
         (&omp_tree, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
     ];
     for (tree, train, test, a, b) in cases {
         let report = TransferabilityReport::assess(tree, train, test, a, b, &config)
             .expect("datasets large enough");
         println!("{}", report.render());
-        let (c_ci, mae_ci) = transfer::metric_confidence(tree, test, 300, 0.95, SEED_SPLIT)
-            .expect("bootstrap");
+        let (c_ci, mae_ci) =
+            transfer::metric_confidence(tree, test, 300, 0.95, SEED_SPLIT).expect("bootstrap");
         println!(
             "  95% bootstrap CIs: C in [{:.4}, {:.4}], MAE in [{:.4}, {:.4}]\n",
             c_ci.lower, c_ci.upper, mae_ci.lower, mae_ci.upper

@@ -48,8 +48,8 @@ pub mod similarity;
 pub mod subset;
 pub mod timeline;
 
+pub use pca::{pca_subset, PcaModel, PcaSubset};
 pub use profile::{LeafProfile, ProfileTable};
 pub use similarity::SimilarityMatrix;
-pub use pca::{pca_subset, PcaModel, PcaSubset};
 pub use subset::{greedy_subset, kmeans_subset, SubsetResult};
 pub use timeline::ClassTimeline;

@@ -66,9 +66,7 @@ impl PcaModel {
         let mut corr = Matrix::zeros(N_EVENTS, N_EVENTS);
         for i in 0..data.len() {
             let d = data.sample(i).densities();
-            let z: Vec<f64> = (0..N_EVENTS)
-                .map(|c| (d[c] - mean[c]) * scale[c])
-                .collect();
+            let z: Vec<f64> = (0..N_EVENTS).map(|c| (d[c] - mean[c]) * scale[c]).collect();
             for a in 0..N_EVENTS {
                 if z[a] == 0.0 {
                     continue;

@@ -138,8 +138,7 @@ impl ProfileTable {
                     if populated.is_empty() {
                         0.0
                     } else {
-                        populated.iter().map(|p| p.shares[i]).sum::<f64>()
-                            / populated.len() as f64
+                        populated.iter().map(|p| p.shares[i]).sum::<f64>() / populated.len() as f64
                     }
                 })
                 .collect(),

@@ -32,11 +32,7 @@ pub struct SubsetResult {
 }
 
 fn l1(a: &[f64], b: &[f64]) -> f64 {
-    0.5 * a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }
 
 fn finalize(table: &ProfileTable, selected_idx: &[usize]) -> SubsetResult {
@@ -133,24 +129,21 @@ pub fn kmeans_subset(table: &ProfileTable, k: usize, seed: u64) -> SubsetResult 
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     for (c, centroid) in centroids.iter().enumerate().take(k) {
         let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
-        let pick = members
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let da: f64 = profiles[a]
-                    .shares()
-                    .iter()
-                    .zip(centroid)
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
-                let db: f64 = profiles[b]
-                    .shares()
-                    .iter()
-                    .zip(centroid)
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
-                da.total_cmp(&db)
-            });
+        let pick = members.iter().copied().min_by(|&a, &b| {
+            let da: f64 = profiles[a]
+                .shares()
+                .iter()
+                .zip(centroid)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let db: f64 = profiles[b]
+                .shares()
+                .iter()
+                .zip(centroid)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            da.total_cmp(&db)
+        });
         if let Some(p) = pick {
             if !selected.contains(&p) {
                 selected.push(p);

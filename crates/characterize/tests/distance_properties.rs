@@ -81,11 +81,7 @@ fn suite_profile_is_weighted_mean_of_benchmarks() {
     let table = ProfileTable::build(&tree, &ds);
     // Equal sample counts here, so Suite == Average == mean of profiles.
     for lm in 1..=table.n_leaves() {
-        let mean: f64 = table
-            .profiles()
-            .iter()
-            .map(|p| p.share(lm))
-            .sum::<f64>()
+        let mean: f64 = table.profiles().iter().map(|p| p.share(lm)).sum::<f64>()
             / table.profiles().len() as f64;
         assert!((table.suite().share(lm) - mean).abs() < 1e-9);
         assert!((table.average().share(lm) - mean).abs() < 1e-9);

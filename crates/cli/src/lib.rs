@@ -117,17 +117,15 @@ impl Flags {
 ///
 /// Fails on unknown extensions, missing files, or parse errors.
 pub fn read_dataset(path: &str) -> Result<Dataset> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
     let reader = BufReader::new(file);
     match extension(path)? {
         "csv" => Dataset::from_csv(reader).map_err(|e| CliError(format!("{path}: {e}"))),
         "arff" => {
             perfcounters::arff::from_arff(reader).map_err(|e| CliError(format!("{path}: {e}")))
         }
-        "json" => {
-            serde_json::from_reader(reader).map_err(|e| CliError(format!("{path}: {e}")))
-        }
+        "json" => serde_json::from_reader(reader).map_err(|e| CliError(format!("{path}: {e}"))),
         other => Err(CliError(format!("unsupported dataset extension .{other}"))),
     }
 }
@@ -138,8 +136,8 @@ pub fn read_dataset(path: &str) -> Result<Dataset> {
 ///
 /// Fails on unknown extensions or I/O errors.
 pub fn write_dataset(data: &Dataset, path: &str) -> Result<()> {
-    let file = std::fs::File::create(path)
-        .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+    let file =
+        std::fs::File::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
     let mut writer = BufWriter::new(file);
     match extension(path)? {
         "csv" => data
@@ -147,8 +145,9 @@ pub fn write_dataset(data: &Dataset, path: &str) -> Result<()> {
             .map_err(|e| CliError(format!("{path}: {e}"))),
         "arff" => perfcounters::arff::to_arff(data, "spec_dataset", &mut writer)
             .map_err(|e| CliError(format!("{path}: {e}"))),
-        "json" => serde_json::to_writer(&mut writer, data)
-            .map_err(|e| CliError(format!("{path}: {e}"))),
+        "json" => {
+            serde_json::to_writer(&mut writer, data).map_err(|e| CliError(format!("{path}: {e}")))
+        }
         other => Err(CliError(format!("unsupported dataset extension .{other}"))),
     }
 }
@@ -161,10 +160,20 @@ fn extension(path: &str) -> Result<&str> {
 }
 
 fn read_model(path: &str) -> Result<ModelTree> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
     serde_json::from_reader(BufReader::new(file))
         .map_err(|e| CliError(format!("{path}: not a model tree: {e}")))
+}
+
+/// Parses the common `--threads N` flag (default 1; training results are
+/// identical for every value, only wall clock changes).
+fn parse_threads(flags: &Flags) -> Result<usize> {
+    let threads: usize = flags.parsed_or("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError("--threads must be at least 1".into()));
+    }
+    Ok(threads)
 }
 
 fn suite_by_name(name: &str) -> Result<Suite> {
@@ -186,9 +195,14 @@ pub fn cmd_generate(flags: &Flags) -> Result<String> {
     let suite = suite_by_name(flags.required("suite")?)?;
     let samples: usize = flags.parsed_or("samples", 60_000)?;
     let seed: u64 = flags.parsed_or("seed", 1)?;
+    let threads = parse_threads(flags)?;
     let out = flags.required("out")?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = suite.generate(&mut rng, samples, &GeneratorConfig::default());
+    let data = if threads > 1 {
+        suite.generate_par(&mut rng, samples, &GeneratorConfig::default(), threads)
+    } else {
+        suite.generate(&mut rng, samples, &GeneratorConfig::default())
+    };
     write_dataset(&data, out)?;
     Ok(format!(
         "wrote {} samples from {} ({} benchmarks) to {out}",
@@ -209,7 +223,8 @@ pub fn cmd_fit(flags: &Flags) -> Result<String> {
     let sd_fraction: f64 = flags.parsed_or("sd-fraction", 0.05)?;
     let config = M5Config::default()
         .with_min_leaf(min_leaf)
-        .with_sd_fraction(sd_fraction);
+        .with_sd_fraction(sd_fraction)
+        .with_n_threads(parse_threads(flags)?);
     let tree = ModelTree::fit(&data, &config).map_err(|e| CliError(e.to_string()))?;
     if let Some(out) = flags.optional("out") {
         let file = std::fs::File::create(out)
@@ -373,9 +388,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<String> {
 /// Fails on bad flags, file errors, or an empty dataset.
 pub fn cmd_stats(flags: &Flags) -> Result<String> {
     let data = read_dataset(flags.required("data")?)?;
-    let cpi = data
-        .cpi_summary()
-        .map_err(|e| CliError(e.to_string()))?;
+    let cpi = data.cpi_summary().map_err(|e| CliError(e.to_string()))?;
     let mut out = format!(
         "{} samples, {} benchmarks\n{:<12} {:>12} {:>12} {:>12} {:>12}\n",
         data.len(),
@@ -396,9 +409,7 @@ pub fn cmd_stats(flags: &Flags) -> Result<String> {
         cpi.max()
     );
     for e in perfcounters::EventId::ALL {
-        let s = data
-            .summary(e)
-            .map_err(|err| CliError(err.to_string()))?;
+        let s = data.summary(e).map_err(|err| CliError(err.to_string()))?;
         let _ = writeln!(
             out,
             "{:<12} {:>12.5e} {:>12.5e} {:>12.5e} {:>12.5e}",
@@ -422,7 +433,9 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
     let folds: usize = flags.parsed_or("folds", 5)?;
     let min_leaf: usize = flags.parsed_or("min-leaf", (data.len() / 200).max(4))?;
     let seed: u64 = flags.parsed_or("seed", 1)?;
-    let config = M5Config::default().with_min_leaf(min_leaf);
+    let config = M5Config::default()
+        .with_min_leaf(min_leaf)
+        .with_n_threads(parse_threads(flags)?);
     let cv = k_fold(&data, &config, folds, seed).map_err(|e| CliError(e.to_string()))?;
     Ok(format!(
         "{folds}-fold CV: MAE {:.4}, RMSE {:.4}, C {:.4}, mean leaves {:.1}",
@@ -439,8 +452,9 @@ specrepro — SPEC CPU2006 / OMP2001 characterization toolkit
 
 USAGE:
   specrepro generate --suite cpu2006|omp2001 --out FILE [--samples N] [--seed S]
+                     [--threads T]
   specrepro fit      --data FILE [--out MODEL.json] [--min-leaf N] [--sd-fraction F]
-                     [--print summary|tree|models|importance|dot]
+                     [--print summary|tree|models|importance|dot] [--threads T]
   specrepro predict  --model MODEL.json --data FILE [--out PRED.csv]
   specrepro classify --model MODEL.json --data FILE
   specrepro transfer --model MODEL.json --train FILE --test FILE
@@ -448,9 +462,13 @@ USAGE:
   specrepro similar  --model MODEL.json --data FILE [--pairs N]
   specrepro explain  --model MODEL.json --data FILE [--row N]
   specrepro stats    --data FILE
-  specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S]
+  specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
 
-Dataset files: .csv, .arff (WEKA), or .json by extension.";
+Dataset files: .csv, .arff (WEKA), or .json by extension.
+--threads parallelizes fitting and generation. Fitted trees are
+bit-identical for any thread count. Generation with --threads >= 2 uses
+per-benchmark streams and is thread-count-invariant, but differs from
+the byte-stable sequential --threads 1 output.";
 
 /// Dispatches a full argument vector (without the program name).
 ///
@@ -516,6 +534,15 @@ mod tests {
     fn unknown_suite_rejected() {
         let f = Flags::parse(&argv(&["--suite", "spec95", "--out", "/tmp/x.csv"])).unwrap();
         assert!(cmd_generate(&f).is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let f = Flags::parse(&argv(&["--threads", "0"])).unwrap();
+        assert!(parse_threads(&f).is_err());
+        let f = Flags::parse(&argv(&["--threads", "4"])).unwrap();
+        assert_eq!(parse_threads(&f).unwrap(), 4);
+        assert_eq!(parse_threads(&Flags::default()).unwrap(), 1);
     }
 
     #[test]

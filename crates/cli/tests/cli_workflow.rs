@@ -21,19 +21,43 @@ fn full_workflow_csv() {
     let model = tmp("wf_model.json");
 
     let out = run(&argv(&[
-        "generate", "--suite", "cpu2006", "--samples", "3000", "--seed", "5", "--out", &data,
+        "generate",
+        "--suite",
+        "cpu2006",
+        "--samples",
+        "3000",
+        "--seed",
+        "5",
+        "--out",
+        &data,
     ]))
     .expect("generate");
     assert!(out.contains("3000 samples"));
 
     let out = run(&argv(&[
-        "generate", "--suite", "cpu2006", "--samples", "1500", "--seed", "6", "--out", &other,
+        "generate",
+        "--suite",
+        "cpu2006",
+        "--samples",
+        "1500",
+        "--seed",
+        "6",
+        "--out",
+        &other,
     ]))
     .expect("generate other");
     assert!(out.contains("1500 samples"));
 
     let out = run(&argv(&[
-        "fit", "--data", &data, "--min-leaf", "60", "--out", &model, "--print", "summary",
+        "fit",
+        "--data",
+        &data,
+        "--min-leaf",
+        "60",
+        "--out",
+        &model,
+        "--print",
+        "summary",
     ]))
     .expect("fit");
     assert!(out.contains("model tree:"), "{out}");
@@ -63,17 +87,27 @@ fn full_workflow_csv() {
     assert!(out.contains("most similar"));
 
     let out = run(&argv(&[
-        "crossval", "--data", &data, "--folds", "3", "--min-leaf", "60",
+        "crossval",
+        "--data",
+        &data,
+        "--folds",
+        "3",
+        "--min-leaf",
+        "60",
     ]))
     .expect("crossval");
     assert!(out.contains("3-fold CV"), "{out}");
 
-    let out = run(&argv(&["explain", "--model", &model, "--data", &other, "--row", "7"]))
-        .expect("explain");
+    let out = run(&argv(&[
+        "explain", "--model", &model, "--data", &other, "--row", "7",
+    ]))
+    .expect("explain");
     assert!(out.contains("predicted CPI"), "{out}");
     assert!(out.contains("sample 7"));
-    let err = run(&argv(&["explain", "--model", &model, "--data", &other, "--row", "99999"]))
-        .unwrap_err();
+    let err = run(&argv(&[
+        "explain", "--model", &model, "--data", &other, "--row", "99999",
+    ]))
+    .unwrap_err();
     assert!(err.0.contains("out of range"));
 
     let out = run(&argv(&["stats", "--data", &data])).expect("stats");
@@ -87,7 +121,15 @@ fn arff_and_json_formats_roundtrip_through_cli() {
     let arff = tmp("fmt.arff");
     let json = tmp("fmt.json");
     run(&argv(&[
-        "generate", "--suite", "omp2001", "--samples", "500", "--seed", "7", "--out", &csv,
+        "generate",
+        "--suite",
+        "omp2001",
+        "--samples",
+        "500",
+        "--seed",
+        "7",
+        "--out",
+        &csv,
     ]))
     .expect("generate");
 
@@ -103,8 +145,16 @@ fn arff_and_json_formats_roundtrip_through_cli() {
 
     // A model fit on one format predicts identically on another.
     let model = tmp("fmt_model.json");
-    run(&argv(&["fit", "--data", &arff, "--min-leaf", "30", "--out", &model]))
-        .expect("fit on arff");
+    run(&argv(&[
+        "fit",
+        "--data",
+        &arff,
+        "--min-leaf",
+        "30",
+        "--out",
+        &model,
+    ]))
+    .expect("fit on arff");
     let a = run(&argv(&["predict", "--model", &model, "--data", &json])).expect("predict json");
     let b = run(&argv(&["predict", "--model", &model, "--data", &csv])).expect("predict csv");
     assert_eq!(a, b);
@@ -114,7 +164,15 @@ fn arff_and_json_formats_roundtrip_through_cli() {
 fn fit_print_modes() {
     let data = tmp("modes.csv");
     run(&argv(&[
-        "generate", "--suite", "cpu2006", "--samples", "1000", "--seed", "8", "--out", &data,
+        "generate",
+        "--suite",
+        "cpu2006",
+        "--samples",
+        "1000",
+        "--seed",
+        "8",
+        "--out",
+        &data,
     ]))
     .expect("generate");
     for (mode, marker) in [
@@ -125,7 +183,13 @@ fn fit_print_modes() {
         ("dot", "digraph"),
     ] {
         let out = run(&argv(&[
-            "fit", "--data", &data, "--min-leaf", "50", "--print", mode,
+            "fit",
+            "--data",
+            &data,
+            "--min-leaf",
+            "50",
+            "--print",
+            mode,
         ]))
         .expect(mode);
         assert!(out.contains(marker), "mode {mode}: {out}");
@@ -139,10 +203,27 @@ fn subset_k_bounds_checked() {
     let data = tmp("bounds.csv");
     let model = tmp("bounds_model.json");
     run(&argv(&[
-        "generate", "--suite", "omp2001", "--samples", "800", "--seed", "9", "--out", &data,
+        "generate",
+        "--suite",
+        "omp2001",
+        "--samples",
+        "800",
+        "--seed",
+        "9",
+        "--out",
+        &data,
     ]))
     .expect("generate");
-    run(&argv(&["fit", "--data", &data, "--min-leaf", "40", "--out", &model])).expect("fit");
+    run(&argv(&[
+        "fit",
+        "--data",
+        &data,
+        "--min-leaf",
+        "40",
+        "--out",
+        &model,
+    ]))
+    .expect("fit");
     let err = run(&argv(&[
         "subset", "--model", &model, "--data", &data, "--k", "0",
     ]))

@@ -48,6 +48,17 @@ pub struct M5Config {
     pub smoothing: bool,
     /// Quinlan's smoothing constant `k` in `p' = (n p + k q) / (n + k)`.
     pub smoothing_k: f64,
+    /// Number of threads used for fitting and batch prediction (scoped
+    /// threads; no thread pool). Must be at least 1. Training is
+    /// **bit-identical** for every value: parallelism only changes wall
+    /// clock, never the fitted tree. Defaults to 1 (serial); absent from
+    /// older serialized configurations, where it also deserializes to 1.
+    #[serde(default = "default_n_threads")]
+    pub n_threads: usize,
+}
+
+fn default_n_threads() -> usize {
+    1
 }
 
 impl Default for M5Config {
@@ -62,6 +73,7 @@ impl Default for M5Config {
             attribute_elimination: true,
             smoothing: true,
             smoothing_k: 15.0,
+            n_threads: 1,
         }
     }
 }
@@ -118,6 +130,14 @@ impl M5Config {
         self
     }
 
+    /// Sets the number of worker threads for fitting and batch
+    /// prediction (1 = serial; results are identical for any value).
+    #[must_use]
+    pub fn with_n_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -154,6 +174,11 @@ impl M5Config {
                 "smoothing_k must be finite and >= 0, got {}",
                 self.smoothing_k
             )));
+        }
+        if self.n_threads == 0 {
+            return Err(crate::TreeError::InvalidConfig(
+                "n_threads must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -219,6 +244,44 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(M5Config {
+            n_threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn n_threads_builder_and_default() {
+        assert_eq!(M5Config::default().n_threads, 1);
+        let c = M5Config::default().with_n_threads(8);
+        assert_eq!(c.n_threads, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn n_threads_defaults_when_absent_from_json() {
+        // Configurations serialized before n_threads existed must still
+        // deserialize (to the serial default).
+        let c = M5Config::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("n_threads"));
+        let stripped: serde_json::Value = {
+            let v = serde_json::from_str::<serde_json::Value>(&json).unwrap();
+            match v {
+                serde_json::Value::Object(fields) => serde_json::Value::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "n_threads")
+                        .collect(),
+                ),
+                other => other,
+            }
+        };
+        let back: M5Config =
+            serde_json::from_str(&serde_json::to_string(&stripped).unwrap()).unwrap();
+        assert_eq!(back.n_threads, 1);
     }
 
     #[test]

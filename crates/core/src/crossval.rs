@@ -96,7 +96,11 @@ pub fn k_fold(data: &Dataset, config: &M5Config, k: usize, seed: u64) -> Result<
             test.add_benchmark(name);
         }
         for (rank, &idx) in order.iter().enumerate() {
-            let target = if rank % k == fold { &mut test } else { &mut train };
+            let target = if rank % k == fold {
+                &mut test
+            } else {
+                &mut train
+            };
             target.push(data.sample(idx).clone(), data.label(idx));
         }
         let tree = ModelTree::fit(&train, config)?;

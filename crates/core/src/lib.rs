@@ -54,7 +54,7 @@ pub mod tree;
 pub use config::M5Config;
 pub use crossval::{k_fold, CrossValidation};
 pub use linreg::LinearModel;
-pub use tree::{Explanation, ExplainStep, ModelTree, NodeId, NodeKind};
+pub use tree::{ExplainStep, Explanation, ModelTree, NodeId, NodeKind};
 
 /// Errors from model-tree construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

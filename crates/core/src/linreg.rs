@@ -8,6 +8,7 @@
 //! on small nodes.
 
 use crate::config::M5Config;
+use crate::split::Columns;
 use mathkit::matrix::Matrix;
 use mathkit::solve::solve_ridge;
 use perfcounters::events::EventId;
@@ -119,6 +120,29 @@ impl LinearModel {
             .sum();
         sum / indices.len() as f64
     }
+
+    /// Columnar counterpart of [`LinearModel::mean_abs_error`], used by
+    /// pruning so the hot path never touches row accessors. Same
+    /// accumulation order, hence bit-identical results.
+    pub(crate) fn mean_abs_error_cols(&self, cols: &Columns<'_>, indices: &[u32]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = indices
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                let predicted = self.intercept
+                    + self
+                        .terms
+                        .iter()
+                        .map(|(e, c)| c * cols.event(*e)[i])
+                        .sum::<f64>();
+                (predicted - cols.cpi[i]).abs()
+            })
+            .sum();
+        sum / indices.len() as f64
+    }
 }
 
 impl std::fmt::Display for LinearModel {
@@ -163,20 +187,21 @@ pub(crate) struct GramSystem {
 }
 
 impl GramSystem {
-    /// Builds the system from the selected rows of a dataset.
-    pub(crate) fn new(data: &Dataset, indices: &[usize], candidates: &[EventId]) -> Self {
+    /// Builds the system from the selected rows of a columnar view.
+    pub(crate) fn new(cols: &Columns<'_>, indices: &[u32], candidates: &[EventId]) -> Self {
         let k = candidates.len();
         let mut gram = Matrix::zeros(k + 1, k + 1);
         let mut xty = vec![0.0; k + 1];
         let mut yty = 0.0;
         let mut row = vec![0.0; k + 1];
+        let columns: Vec<&[f64]> = candidates.iter().map(|&e| cols.event(e)).collect();
         for &i in indices {
-            let s = data.sample(i);
+            let i = i as usize;
             row[0] = 1.0;
-            for (j, e) in candidates.iter().enumerate() {
-                row[j + 1] = s.get(*e);
+            for (j, col) in columns.iter().enumerate() {
+                row[j + 1] = col[i];
             }
-            let y = s.cpi();
+            let y = cols.cpi[i];
             yty += y * y;
             for a in 0..=k {
                 xty[a] += row[a] * y;
@@ -225,9 +250,8 @@ impl GramSystem {
             .map_or_else(|| solve_ridge(&g, &c, 1e-10), Ok);
         match solution {
             Ok(beta) => {
-                let sse = (self.yty
-                    - beta.iter().zip(&c).map(|(b, ci)| b * ci).sum::<f64>())
-                .max(0.0);
+                let sse =
+                    (self.yty - beta.iter().zip(&c).map(|(b, ci)| b * ci).sum::<f64>()).max(0.0);
                 let terms: Vec<(EventId, f64)> = active
                     .iter()
                     .zip(beta.iter().skip(1))
@@ -265,15 +289,15 @@ impl GramSystem {
 /// With an empty candidate list (a pre-pruning leaf whose subtree tests
 /// nothing) the result is the constant mean model.
 pub(crate) fn fit_node_model(
-    data: &Dataset,
-    indices: &[usize],
+    cols: &Columns<'_>,
+    indices: &[u32],
     candidates: &[EventId],
     config: &M5Config,
 ) -> LinearModel {
     if indices.is_empty() {
         return LinearModel::constant(0.0);
     }
-    let system = GramSystem::new(data, indices, candidates);
+    let system = GramSystem::new(cols, indices, candidates);
     if candidates.is_empty() {
         return system.solve_subset(&[]).0;
     }
@@ -302,8 +326,7 @@ pub(crate) fn fit_node_model(
             trial.remove(pos);
             let (m, s) = system.solve_subset(&trial);
             let adj = system.adjusted_rmse(s, trial.len() + 1);
-            if adj <= best_adjusted
-                && best_drop.as_ref().is_none_or(|(_, _, _, prev)| adj < *prev)
+            if adj <= best_adjusted && best_drop.as_ref().is_none_or(|(_, _, _, prev)| adj < *prev)
             {
                 best_drop = Some((pos, m, s, adj));
             }
@@ -334,7 +357,7 @@ mod tests {
         seed: u64,
         events: &[EventId],
         truth: F,
-    ) -> (Dataset, Vec<usize>) {
+    ) -> (Dataset, Vec<u32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ds = Dataset::new();
         let b = ds.add_benchmark("synth");
@@ -347,7 +370,7 @@ mod tests {
             s.set_cpi(cpi);
             ds.push(s, b);
         }
-        let idx: Vec<usize> = (0..n).collect();
+        let idx: Vec<u32> = (0..n as u32).collect();
         (ds, idx)
     }
 
@@ -393,7 +416,7 @@ mod tests {
         let (ds, idx) = synth_dataset(500, 1, &events, |s| {
             0.4 + 2.0 * s.get(EventId::Load) + 30.0 * s.get(EventId::L2Miss)
         });
-        let lm = fit_node_model(&ds, &idx, &events, &M5Config::default());
+        let lm = fit_node_model(&Columns::new(&ds), &idx, &events, &M5Config::default());
         assert!((lm.intercept() - 0.4).abs() < 1e-8, "{lm}");
         assert!((lm.coefficient(EventId::Load) - 2.0).abs() < 1e-8);
         assert!((lm.coefficient(EventId::L2Miss) - 30.0).abs() < 1e-8);
@@ -404,7 +427,7 @@ mod tests {
         // CPI depends only on Load; Div is noise-free-irrelevant.
         let events = [EventId::Load, EventId::Div, EventId::Mul];
         let (ds, idx) = synth_dataset(400, 2, &events, |s| 1.0 + 3.0 * s.get(EventId::Load));
-        let lm = fit_node_model(&ds, &idx, &events, &M5Config::default());
+        let lm = fit_node_model(&Columns::new(&ds), &idx, &events, &M5Config::default());
         assert!(lm.coefficient(EventId::Div).abs() < 1e-8);
         assert!((lm.coefficient(EventId::Load) - 3.0).abs() < 1e-8);
     }
@@ -414,7 +437,7 @@ mod tests {
         let events = [EventId::Load, EventId::Div];
         let (ds, idx) = synth_dataset(50, 3, &events, |s| 1.0 + 3.0 * s.get(EventId::Load));
         let config = M5Config::default().with_attribute_elimination(false);
-        let lm = fit_node_model(&ds, &idx, &events, &config);
+        let lm = fit_node_model(&Columns::new(&ds), &idx, &events, &config);
         // Without elimination both attributes stay in the model.
         assert_eq!(lm.terms().len(), 2);
     }
@@ -422,7 +445,7 @@ mod tests {
     #[test]
     fn empty_candidates_yield_mean() {
         let (ds, idx) = synth_dataset(100, 4, &[], |_| 1.25);
-        let lm = fit_node_model(&ds, &idx, &[], &M5Config::default());
+        let lm = fit_node_model(&Columns::new(&ds), &idx, &[], &M5Config::default());
         assert!(lm.is_constant());
         assert!((lm.intercept() - 1.25).abs() < 1e-12);
     }
@@ -430,7 +453,12 @@ mod tests {
     #[test]
     fn empty_indices_yield_zero_constant() {
         let (ds, _) = synth_dataset(10, 5, &[], |_| 1.0);
-        let lm = fit_node_model(&ds, &[], &[EventId::Load], &M5Config::default());
+        let lm = fit_node_model(
+            &Columns::new(&ds),
+            &[],
+            &[EventId::Load],
+            &M5Config::default(),
+        );
         assert!(lm.is_constant());
     }
 
@@ -438,8 +466,8 @@ mod tests {
     fn tiny_node_does_not_overparameterize() {
         let events = EventId::ALL;
         let (ds, _) = synth_dataset(6, 6, &events, |s| 1.0 + s.get(EventId::Load));
-        let idx: Vec<usize> = (0..6).collect();
-        let lm = fit_node_model(&ds, &idx, &events, &M5Config::default());
+        let idx: Vec<u32> = (0..6).collect();
+        let lm = fit_node_model(&Columns::new(&ds), &idx, &events, &M5Config::default());
         assert!(lm.n_params() < 6, "params {} for 6 samples", lm.n_params());
     }
 
@@ -456,9 +484,9 @@ mod tests {
             s.set(EventId::Br, v);
             ds.push(s, b);
         }
-        let idx: Vec<usize> = (0..200).collect();
+        let idx: Vec<u32> = (0..200).collect();
         let lm = fit_node_model(
-            &ds,
+            &Columns::new(&ds),
             &idx,
             &[EventId::Load, EventId::Br],
             &M5Config::default(),

@@ -3,7 +3,7 @@
 
 use crate::config::M5Config;
 use crate::linreg::{adjusted_error_factor, fit_node_model, LinearModel};
-use crate::split::{cpi_mean, cpi_sd, find_best_split, partition, Split};
+use crate::split::{find_best_split, Columns, NodeSet, SortArena, Split, TargetStats};
 use crate::{Result, TreeError};
 use perfcounters::events::EventId;
 use perfcounters::{Dataset, Sample};
@@ -168,9 +168,12 @@ pub struct ModelTree {
     root_sd: f64,
 }
 
-/// Intermediate node produced by the growing phase.
+/// Intermediate node produced by the growing phase. Target statistics
+/// are computed once here and reused by the stop test, the split search,
+/// and pruning — no later phase re-scans the target column.
 struct GrownNode {
-    indices: Vec<usize>,
+    indices: Vec<u32>,
+    stats: TargetStats,
     split: Option<(Split, Box<GrownNode>, Box<GrownNode>)>,
 }
 
@@ -191,6 +194,12 @@ struct PrunedNode {
 impl ModelTree {
     /// Fits an M5' model tree.
     ///
+    /// With [`M5Config::n_threads`] above 1, sibling subtrees (and the
+    /// per-attribute threshold scans near the root) are processed on
+    /// scoped worker threads. The fitted tree is **bit-identical** to a
+    /// serial fit: every per-node computation is self-contained and
+    /// results are always reduced in a fixed order.
+    ///
     /// # Errors
     ///
     /// * [`TreeError::InvalidConfig`] for out-of-range hyper-parameters.
@@ -201,18 +210,37 @@ impl ModelTree {
         if data.is_empty() {
             return Err(TreeError::InsufficientData("empty training set".into()));
         }
-        if data.cpis().iter().any(|y| !y.is_finite()) {
+        let cols = Columns::new(data);
+        if cols.cpi.iter().any(|y| !y.is_finite()) {
             return Err(TreeError::DegenerateTarget(
                 "CPI contains non-finite values".into(),
             ));
         }
 
-        let all_indices: Vec<usize> = (0..data.len()).collect();
-        let root_sd = cpi_sd(data, &all_indices);
+        // One sort per attribute for the whole fit; every node below
+        // inherits sorted order by in-place stable partitioning of the
+        // arena's index segments.
+        let mut arena = SortArena::root(&cols);
+        let root_set = arena.node_set();
+        let root_stats = TargetStats::compute(cols.cpi, &root_set.indices);
+        let root_sd = root_stats.sd();
         let sd_stop = config.sd_fraction * root_sd;
+        let budget = config.n_threads.max(1);
 
-        let grown = grow(data, all_indices, 0, sd_stop, config);
-        let pruned = prune(data, grown, config);
+        let mut mask = vec![false; data.len()];
+        let mut scratch = vec![0u32; data.len()];
+        let grown = grow(
+            &cols,
+            root_set,
+            root_stats,
+            0,
+            sd_stop,
+            config,
+            budget,
+            &mut mask,
+            &mut scratch,
+        );
+        let pruned = prune(&cols, grown, config, budget);
 
         let mut tree = ModelTree {
             nodes: Vec::new(),
@@ -313,6 +341,19 @@ impl ModelTree {
     /// Population standard deviation of the training CPI.
     pub fn root_sd(&self) -> f64 {
         self.root_sd
+    }
+
+    /// True if two fitted trees are structurally identical: same nodes
+    /// (splits, thresholds, models, statistics — compared bit-exactly),
+    /// same root, same training size. Unlike `==`, the fitted
+    /// configuration is ignored, so trees trained with different
+    /// [`M5Config::n_threads`] can be checked for the determinism
+    /// contract.
+    pub fn structural_eq(&self, other: &ModelTree) -> bool {
+        self.nodes == other.nodes
+            && self.root == other.root
+            && self.n_training == other.n_training
+            && self.root_sd.to_bits() == other.root_sd.to_bits()
     }
 
     /// Maximum depth (a lone leaf has depth 0).
@@ -519,8 +560,31 @@ impl ModelTree {
     }
 
     /// Predicts CPI for every sample of a dataset.
+    ///
+    /// With [`M5Config::n_threads`] above 1, predictions are computed in
+    /// contiguous chunks on scoped worker threads. Each element is
+    /// produced by the same [`ModelTree::predict`] call either way, so
+    /// the output is bit-identical to a serial pass.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i))).collect()
+        let threads = self.config.n_threads.max(1).min(data.len());
+        if threads <= 1 {
+            return (0..data.len())
+                .map(|i| self.predict(data.sample(i)))
+                .collect();
+        }
+        let chunk = data.len().div_ceil(threads);
+        let mut out = vec![0.0; data.len()];
+        std::thread::scope(|scope| {
+            for (t, slice) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (j, value) in slice.iter_mut().enumerate() {
+                        *value = self.predict(data.sample(start + j));
+                    }
+                });
+            }
+        });
+        out
     }
 
     /// Mean absolute error over a dataset (0 for an empty set).
@@ -539,52 +603,153 @@ impl ModelTree {
 }
 
 /// Recursive growing phase.
+///
+/// `budget` is the number of threads this subtree may use: when it is at
+/// least 2, the left child grows on a scoped worker thread (with
+/// `ceil(budget / 2)` threads) while the current thread grows the right
+/// child (with the remainder). Join order is fixed, every child's
+/// statistics are computed from its own index list, and `find_best_split`
+/// is thread-count-invariant — so the grown tree never depends on
+/// scheduling.
+///
+/// `mask` and `scratch` are this thread's partition buffers (full
+/// dataset length); a spawned child allocates its own.
+#[allow(clippy::too_many_arguments)]
 fn grow(
-    data: &Dataset,
-    indices: Vec<usize>,
+    cols: &Columns<'_>,
+    set: NodeSet<'_>,
+    stats: TargetStats,
     depth: usize,
     sd_stop: f64,
     config: &M5Config,
+    budget: usize,
+    mask: &mut Vec<bool>,
+    scratch: &mut Vec<u32>,
 ) -> GrownNode {
-    let stop = indices.len() < config.min_split
-        || depth >= config.max_depth
-        || cpi_sd(data, &indices) < sd_stop;
-    if stop {
-        return GrownNode {
-            indices,
-            split: None,
-        };
-    }
-    match find_best_split(data, &indices, config.min_leaf) {
-        Some(split) => {
-            let (left_idx, right_idx) = partition(data, &indices, &split);
-            debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
-            let left = grow(data, left_idx, depth + 1, sd_stop, config);
-            let right = grow(data, right_idx, depth + 1, sd_stop, config);
-            GrownNode {
-                indices,
-                split: Some((split, Box::new(left), Box::new(right))),
+    let stop = set.len() < config.min_split || depth >= config.max_depth || stats.sd() < sd_stop;
+    if !stop {
+        if let Some(split) = find_best_split(cols, &set, config.min_leaf, &stats, budget) {
+            let indices = set.indices.clone();
+            let (left_indices, right_indices) = set.split_plan(cols, &split, mask);
+            debug_assert!(!left_indices.is_empty() && !right_indices.is_empty());
+            let left_stats = TargetStats::compute(cols.cpi, &left_indices);
+            let right_stats = TargetStats::compute(cols.cpi, &right_indices);
+
+            // A child whose own stop test (or minimum split size) already
+            // fails can never split again, so when both children are
+            // leaves the sorted segments need not be partitioned at all.
+            let grows = |child: &TargetStats| {
+                child.n >= config.min_split.max(2 * config.min_leaf)
+                    && depth + 1 < config.max_depth
+                    && child.sd() >= sd_stop
+            };
+            if !grows(&left_stats) && !grows(&right_stats) {
+                let left = GrownNode {
+                    indices: left_indices,
+                    stats: left_stats,
+                    split: None,
+                };
+                let right = GrownNode {
+                    indices: right_indices,
+                    stats: right_stats,
+                    split: None,
+                };
+                return GrownNode {
+                    indices,
+                    stats,
+                    split: Some((split, Box::new(left), Box::new(right))),
+                };
             }
+
+            let (left_set, right_set) =
+                set.partition_segments(left_indices, right_indices, mask, scratch);
+            let (left, right) = if budget >= 2 {
+                let left_budget = budget.div_ceil(2);
+                let right_budget = budget - left_budget;
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(move || {
+                        let mut left_mask = vec![false; cols.cpi.len()];
+                        let mut left_scratch = vec![0u32; cols.cpi.len()];
+                        grow(
+                            cols,
+                            left_set,
+                            left_stats,
+                            depth + 1,
+                            sd_stop,
+                            config,
+                            left_budget,
+                            &mut left_mask,
+                            &mut left_scratch,
+                        )
+                    });
+                    let right = grow(
+                        cols,
+                        right_set,
+                        right_stats,
+                        depth + 1,
+                        sd_stop,
+                        config,
+                        right_budget.max(1),
+                        mask,
+                        scratch,
+                    );
+                    (handle.join().expect("grow worker panicked"), right)
+                })
+            } else {
+                let left = grow(
+                    cols,
+                    left_set,
+                    left_stats,
+                    depth + 1,
+                    sd_stop,
+                    config,
+                    1,
+                    mask,
+                    scratch,
+                );
+                let right = grow(
+                    cols,
+                    right_set,
+                    right_stats,
+                    depth + 1,
+                    sd_stop,
+                    config,
+                    1,
+                    mask,
+                    scratch,
+                );
+                (left, right)
+            };
+            return GrownNode {
+                indices,
+                stats,
+                split: Some((split, Box::new(left), Box::new(right))),
+            };
         }
-        None => GrownNode {
-            indices,
-            split: None,
-        },
+    }
+    GrownNode {
+        indices: set.indices,
+        stats,
+        split: None,
     }
 }
 
 /// Bottom-up model fitting and pruning.
-fn prune(data: &Dataset, node: GrownNode, config: &M5Config) -> PrunedNode {
-    let n = node.indices.len();
-    let mean = cpi_mean(data, &node.indices);
-    let sd = cpi_sd(data, &node.indices);
+///
+/// `budget` parallelizes sibling subtrees exactly as in [`grow`]; the
+/// decision at each node depends only on its own samples and its
+/// children's results, so pruning is likewise thread-count-invariant.
+fn prune(cols: &Columns<'_>, node: GrownNode, config: &M5Config, budget: usize) -> PrunedNode {
+    let n = node.stats.n;
+    let mean = node.stats.mean();
+    let sd = node.stats.sd();
 
     match node.split {
         None => {
             // Grown leaf: its subtree references no attributes, so the M5'
             // node model is the constant mean.
             let model = LinearModel::constant(mean);
-            let error = model.mean_abs_error(data, &node.indices)
+            let error = model.mean_abs_error_cols(cols, &node.indices)
                 * adjusted_error_factor(n, model.n_params());
             PrunedNode {
                 model,
@@ -597,16 +762,28 @@ fn prune(data: &Dataset, node: GrownNode, config: &M5Config) -> PrunedNode {
             }
         }
         Some((split, left, right)) => {
-            let left = prune(data, *left, config);
-            let right = prune(data, *right, config);
+            let (left, right) = if budget >= 2 {
+                let left_budget = budget.div_ceil(2);
+                let right_budget = budget - left_budget;
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(move || prune(cols, *left, config, left_budget));
+                    let right = prune(cols, *right, config, right_budget.max(1));
+                    (handle.join().expect("prune worker panicked"), right)
+                })
+            } else {
+                (
+                    prune(cols, *left, config, 1),
+                    prune(cols, *right, config, 1),
+                )
+            };
 
             // Attributes available to this node's model: everything tested
             // or modeled in the subtree.
             let mut attrs: BTreeSet<EventId> = &left.attrs | &right.attrs;
             attrs.insert(split.event);
             let candidates: Vec<EventId> = attrs.iter().copied().collect();
-            let model = fit_node_model(data, &node.indices, &candidates, config);
-            let node_error = model.mean_abs_error(data, &node.indices)
+            let model = fit_node_model(cols, &node.indices, &candidates, config);
+            let node_error = model.mean_abs_error_cols(cols, &node.indices)
                 * adjusted_error_factor(n, model.n_params());
 
             let subtree_error = if n == 0 {

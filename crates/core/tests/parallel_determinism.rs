@@ -1,0 +1,113 @@
+//! Bit-identity of parallel training and batch prediction.
+//!
+//! `M5Config::n_threads` must never change the fitted model or its
+//! predictions — parallelism buys wall clock only. These tests pin that
+//! contract down to the bit level: tree structure, split choices, node
+//! model coefficients (via [`ModelTree::structural_eq`]), and every
+//! prediction's bit pattern.
+
+use modeltree::{M5Config, ModelTree};
+use perfcounters::{Dataset, EventId, Sample};
+use proptest::prelude::*;
+
+/// Builds a dataset from proptest-provided raw rows: each row is
+/// `(dtlb, load, l2, cpi)`.
+fn dataset_from_rows(rows: &[(f64, f64, f64, f64)]) -> Dataset {
+    let mut ds = Dataset::new();
+    let b = ds.add_benchmark("prop");
+    for &(dtlb, load, l2, cpi) in rows {
+        let mut s = Sample::zeros(cpi);
+        s.set(EventId::DtlbMiss, dtlb);
+        s.set(EventId::Load, load);
+        s.set(EventId::L2Miss, l2);
+        ds.push(s, b);
+    }
+    ds
+}
+
+fn row_strategy() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (
+        0.0f64..1e-3, // dtlb
+        0.0f64..0.5,  // load
+        0.0f64..2e-3, // l2
+        0.1f64..5.0,  // cpi
+    )
+}
+
+fn assert_bitwise_equal_predictions(a: &ModelTree, b: &ModelTree, ds: &Dataset) {
+    let pa = a.predict_all(ds);
+    let pb = b.predict_all(ds);
+    assert_eq!(pa.len(), pb.len());
+    for (i, (x, y)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "prediction {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial(
+        rows in proptest::collection::vec(row_strategy(), 30..300),
+        threads in 2usize..9,
+    ) {
+        let ds = dataset_from_rows(&rows);
+        let serial = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+        let par =
+            ModelTree::fit(&ds, &M5Config::default().with_n_threads(threads)).unwrap();
+        prop_assert!(
+            serial.structural_eq(&par),
+            "n_threads={threads} changed the fitted tree"
+        );
+        let ps = serial.predict_all(&ds);
+        let pp = par.predict_all(&ds);
+        prop_assert_eq!(ps.len(), pp.len());
+        for (a, b) in ps.iter().zip(&pp) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_fit_identical_without_pruning_or_smoothing(
+        rows in proptest::collection::vec(row_strategy(), 30..200),
+    ) {
+        // The determinism contract holds for every configuration, not
+        // just the defaults: unpruned growth and raw (unsmoothed)
+        // prediction exercise different parallel paths.
+        let ds = dataset_from_rows(&rows);
+        let config = M5Config::default().with_prune(false).with_smoothing(false);
+        let serial = ModelTree::fit(&ds, &config).unwrap();
+        let par = ModelTree::fit(&ds, &config.with_n_threads(4)).unwrap();
+        prop_assert!(serial.structural_eq(&par));
+    }
+}
+
+#[test]
+fn oversubscribed_thread_counts_are_still_identical() {
+    // More threads than samples / attributes must not change anything.
+    let mut rng_state = 0x9e37_79b9_u64;
+    let mut next = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (rng_state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut ds = Dataset::new();
+    let b = ds.add_benchmark("synthetic");
+    for _ in 0..800 {
+        let dtlb = 1e-3 * next();
+        let load = 0.5 * next();
+        let mut s = Sample::zeros(0.5 + 400.0 * dtlb + load + 0.05 * next());
+        s.set(EventId::DtlbMiss, dtlb);
+        s.set(EventId::Load, load);
+        ds.push(s, b);
+    }
+    let serial = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+    for threads in [2, 3, 7, 19, 64, 1024] {
+        let par = ModelTree::fit(&ds, &M5Config::default().with_n_threads(threads)).unwrap();
+        assert!(serial.structural_eq(&par), "n_threads={threads}");
+        assert_bitwise_equal_predictions(&serial, &par, &ds);
+    }
+}

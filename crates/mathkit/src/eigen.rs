@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.5],
-            &[0.5, -0.5, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]);
         let e = symmetric_eigen(&a).unwrap();
         // a = V diag(l) V^T
         let n = 3;
@@ -214,11 +210,7 @@ mod tests {
 
     #[test]
     fn values_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 9.0, 0.0],
-            &[0.0, 0.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 9.0, 0.0], &[0.0, 0.0, 4.0]]);
         let e = symmetric_eigen(&a).unwrap();
         assert_eq!(e.values(), &[9.0, 4.0, 1.0]);
     }

@@ -196,13 +196,7 @@ impl Matrix {
             )));
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
             .collect())
     }
 

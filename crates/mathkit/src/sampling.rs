@@ -41,13 +41,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `lo > hi`.
-pub fn truncated_normal<R: Rng + ?Sized>(
-    rng: &mut R,
-    mean: f64,
-    sd: f64,
-    lo: f64,
-    hi: f64,
-) -> f64 {
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
     assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
     if sd == 0.0 {
         return mean.clamp(lo, hi);

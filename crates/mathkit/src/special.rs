@@ -263,10 +263,7 @@ mod tests {
         let factorials: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (i, &f) in factorials.iter().enumerate() {
             let x = (i + 1) as f64;
-            assert!(
-                (ln_gamma(x) - f.ln()).abs() < 1e-9,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-9, "ln_gamma({x})");
         }
     }
 

@@ -9,6 +9,61 @@ use mathkit::sampling::permutation;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
+use std::sync::OnceLock;
+
+/// Column-major copy of a dataset's numeric content, built lazily and
+/// cached on the owning [`Dataset`].
+///
+/// Training-time inner loops (split search, node-model fitting) walk one
+/// event at a time across many samples; the row-major `Vec<Sample>`
+/// layout makes that a strided scatter. The column store keeps each
+/// event's densities — and the CPI target — as one contiguous `&[f64]`
+/// slice, so hot loops touch memory sequentially and never allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStore {
+    /// Sample count (the length of every column).
+    n: usize,
+    /// All event columns, concatenated: column `e` occupies
+    /// `e.index() * n .. (e.index() + 1) * n`.
+    events: Vec<f64>,
+    /// The CPI (dependent-variable) column.
+    cpi: Vec<f64>,
+}
+
+impl ColumnStore {
+    fn build(samples: &[Sample]) -> ColumnStore {
+        let n = samples.len();
+        let mut events = vec![0.0; N_EVENTS * n];
+        let mut cpi = Vec::with_capacity(n);
+        for (i, s) in samples.iter().enumerate() {
+            cpi.push(s.cpi());
+            for (e, &v) in s.densities().iter().enumerate() {
+                events[e * n + i] = v;
+            }
+        }
+        ColumnStore { n, events, cpi }
+    }
+
+    /// The contiguous density column for one event.
+    pub fn event(&self, event: EventId) -> &[f64] {
+        &self.events[event.index() * self.n..(event.index() + 1) * self.n]
+    }
+
+    /// The contiguous CPI column.
+    pub fn cpi(&self) -> &[f64] {
+        &self.cpi
+    }
+
+    /// Number of samples (length of every column).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the store holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
 
 /// A labeled dataset of observation intervals.
 ///
@@ -29,11 +84,38 @@ use std::io::{BufRead, Write};
 /// assert_eq!(ds.len(), 1);
 /// assert_eq!(ds.benchmark_name(mcf), Some("429.mcf"));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Dataset {
     samples: Vec<Sample>,
     labels: Vec<u32>,
     benchmarks: Vec<String>,
+    /// Lazily built columnar view (see [`ColumnStore`]). Purely derived
+    /// data: never serialized, never compared, dropped on clone, and
+    /// reset by every mutation.
+    #[serde(skip)]
+    columns: OnceLock<ColumnStore>,
+}
+
+// The column cache is derived state: two datasets are equal iff their
+// samples, labels, and benchmark tables are, regardless of which of them
+// has materialized its columns.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+            && self.labels == other.labels
+            && self.benchmarks == other.benchmarks
+    }
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Dataset {
+            samples: self.samples.clone(),
+            labels: self.labels.clone(),
+            benchmarks: self.benchmarks.clone(),
+            columns: OnceLock::new(),
+        }
+    }
 }
 
 impl Dataset {
@@ -48,7 +130,31 @@ impl Dataset {
             samples: Vec::with_capacity(n),
             labels: Vec::with_capacity(n),
             benchmarks: Vec::new(),
+            columns: OnceLock::new(),
         }
+    }
+
+    /// Drops the cached columnar view; called by every mutation.
+    fn invalidate_columns(&mut self) {
+        self.columns = OnceLock::new();
+    }
+
+    /// The columnar view of this dataset, built on first use and cached
+    /// until the next mutation. Costs one pass over the samples (and
+    /// `20 * len` doubles of memory) the first time; free afterwards.
+    pub fn columns(&self) -> &ColumnStore {
+        self.columns
+            .get_or_init(|| ColumnStore::build(&self.samples))
+    }
+
+    /// Borrow of one event's contiguous density column.
+    pub fn event_column(&self, event: EventId) -> &[f64] {
+        self.columns().event(event)
+    }
+
+    /// Borrow of the contiguous CPI column.
+    pub fn cpi_column(&self) -> &[f64] {
+        self.columns().cpi()
     }
 
     /// Registers a benchmark name, returning its label id. If the name is
@@ -72,6 +178,7 @@ impl Dataset {
             "label {label} not registered ({} benchmarks)",
             self.benchmarks.len()
         );
+        self.invalidate_columns();
         self.samples.push(sample);
         self.labels.push(label);
     }
@@ -124,21 +231,27 @@ impl Dataset {
         self.samples.iter().zip(self.labels.iter().copied())
     }
 
-    /// The dependent-variable vector (CPI of each sample).
+    /// The dependent-variable vector (CPI of each sample). Thin copying
+    /// wrapper over [`Dataset::cpi_column`].
     pub fn cpis(&self) -> Vec<f64> {
-        self.samples.iter().map(Sample::cpi).collect()
+        self.cpi_column().to_vec()
     }
 
-    /// The density column for one event.
+    /// The density column for one event. Thin copying wrapper over
+    /// [`Dataset::event_column`].
     pub fn column(&self, event: EventId) -> Vec<f64> {
-        self.samples.iter().map(|s| s.get(event)).collect()
+        self.event_column(event).to_vec()
     }
 
-    /// The `n x N_EVENTS` feature matrix (no intercept column).
+    /// The `n x N_EVENTS` feature matrix (no intercept column), filled
+    /// from the columnar view.
     pub fn feature_matrix(&self) -> Matrix {
         let mut m = Matrix::zeros(self.len(), N_EVENTS);
-        for (r, s) in self.samples.iter().enumerate() {
-            m.row_mut(r).copy_from_slice(s.densities());
+        let cols = self.columns();
+        for e in EventId::ALL {
+            for (r, &v) in cols.event(e).iter().enumerate() {
+                m[(r, e.index())] = v;
+            }
         }
         m
     }
@@ -184,11 +297,13 @@ impl Dataset {
             samples: Vec::with_capacity(n_first),
             labels: Vec::with_capacity(n_first),
             benchmarks: self.benchmarks.clone(),
+            columns: OnceLock::new(),
         };
         let mut second = Dataset {
             samples: Vec::with_capacity(self.len().saturating_sub(n_first)),
             labels: Vec::with_capacity(self.len().saturating_sub(n_first)),
             benchmarks: self.benchmarks.clone(),
+            columns: OnceLock::new(),
         };
         for (rank, &idx) in order.iter().enumerate() {
             let target = if rank < n_first {
@@ -209,6 +324,7 @@ impl Dataset {
             samples: Vec::new(),
             labels: Vec::new(),
             benchmarks: self.benchmarks.clone(),
+            columns: OnceLock::new(),
         };
         for (s, l) in self.iter() {
             if l == label {
@@ -222,6 +338,7 @@ impl Dataset {
     /// Appends all samples of `other`, remapping labels through benchmark
     /// names so datasets from different generators can be combined.
     pub fn merge(&mut self, other: &Dataset) {
+        self.invalidate_columns();
         let remap: Vec<u32> = other
             .benchmarks
             .iter()
@@ -456,6 +573,60 @@ mod tests {
         let l = ds.add_benchmark("z");
         ds.extend((0..5).map(|i| (Sample::zeros(i as f64), l)));
         assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn columnar_view_matches_row_accessors() {
+        let ds = tiny_dataset();
+        let cols = ds.columns();
+        assert_eq!(cols.len(), ds.len());
+        assert!(!cols.is_empty());
+        for e in EventId::ALL {
+            let col = cols.event(e);
+            assert_eq!(col.len(), ds.len());
+            for (i, &value) in col.iter().enumerate() {
+                assert_eq!(value, ds.sample(i).get(e));
+            }
+        }
+        for i in 0..ds.len() {
+            assert_eq!(cols.cpi()[i], ds.sample(i).cpi());
+        }
+        // The convenience wrappers observe the same data.
+        assert_eq!(ds.column(EventId::Load), ds.event_column(EventId::Load));
+        assert_eq!(ds.cpis(), ds.cpi_column());
+    }
+
+    #[test]
+    fn columnar_view_invalidated_by_mutation() {
+        let mut ds = tiny_dataset();
+        assert_eq!(ds.cpi_column().len(), 10);
+        let label = ds.add_benchmark("gamma");
+        ds.push(Sample::zeros(9.0), label);
+        assert_eq!(ds.cpi_column().len(), 11);
+        assert_eq!(ds.cpi_column()[10], 9.0);
+
+        let mut merged = tiny_dataset();
+        assert_eq!(merged.event_column(EventId::Load).len(), 10);
+        merged.merge(&ds);
+        assert_eq!(merged.event_column(EventId::Load).len(), 21);
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_column_cache() {
+        let ds = tiny_dataset();
+        let _ = ds.columns();
+        let copy = ds.clone();
+        assert_eq!(copy, ds);
+        // The clone rebuilds its own cache lazily and sees the same data.
+        assert_eq!(copy.cpi_column(), ds.cpi_column());
+    }
+
+    #[test]
+    fn empty_dataset_columns() {
+        let ds = Dataset::new();
+        assert!(ds.columns().is_empty());
+        assert!(ds.cpi_column().is_empty());
+        assert!(ds.event_column(EventId::Load).is_empty());
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl EventId {
     /// Returns `None` for unknown names. Matching is case-sensitive to
     /// stay faithful to the paper's spellings.
     pub fn from_short_name(name: &str) -> Option<EventId> {
-        EventId::ALL.iter().copied().find(|e| e.short_name() == name)
+        EventId::ALL
+            .iter()
+            .copied()
+            .find(|e| e.short_name() == name)
     }
 }
 

@@ -41,7 +41,7 @@ pub mod events;
 pub mod sample;
 
 pub use counters::CounterBank;
-pub use dataset::Dataset;
+pub use dataset::{ColumnStore, Dataset};
 pub use events::EventId;
 pub use sample::Sample;
 

@@ -15,7 +15,9 @@ fn truth() -> Sample {
 fn measured_sd(bank: &CounterBank, event: EventId, n: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let t = truth();
-    let xs: Vec<f64> = (0..n).map(|_| bank.measure(&t, &mut rng).get(event)).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|_| bank.measure(&t, &mut rng).get(event))
+        .collect();
     mathkit::describe::std_dev(&xs).unwrap()
 }
 

@@ -121,13 +121,7 @@ pub fn mae_ci(
     bootstrap_ci(
         predicted,
         actual,
-        |p, a| {
-            p.iter()
-                .zip(a)
-                .map(|(x, y)| (x - y).abs())
-                .sum::<f64>()
-                / p.len() as f64
-        },
+        |p, a| p.iter().zip(a).map(|(x, y)| (x - y).abs()).sum::<f64>() / p.len() as f64,
         n_resamples,
         confidence,
         seed,

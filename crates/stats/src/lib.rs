@@ -74,6 +74,8 @@ mod tests {
         assert!(!StatsError::InsufficientData("n=1".into())
             .to_string()
             .is_empty());
-        assert!(StatsError::Domain("alpha".into()).to_string().contains("alpha"));
+        assert!(StatsError::Domain("alpha".into())
+            .to_string()
+            .contains("alpha"));
     }
 }

@@ -82,11 +82,8 @@ impl PredictionMetrics {
             / n as f64)
             .sqrt();
         let mean_actual = mean(actual).expect("non-empty");
-        let mean_baseline_mae = actual
-            .iter()
-            .map(|a| (a - mean_actual).abs())
-            .sum::<f64>()
-            / n as f64;
+        let mean_baseline_mae =
+            actual.iter().map(|a| (a - mean_actual).abs()).sum::<f64>() / n as f64;
         let relative_absolute_error = if mean_baseline_mae > 0.0 {
             mae / mean_baseline_mae
         } else if mae == 0.0 {

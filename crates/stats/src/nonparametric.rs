@@ -91,7 +91,11 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<NonParametricResult> {
     // Continuity correction. Note f64::signum(0.0) is 1.0, so guard the
     // exactly-central case explicitly to keep the statistic antisymmetric.
     let diff = u_a - mean_u;
-    let correction = if diff == 0.0 { 0.0 } else { 0.5 * diff.signum() };
+    let correction = if diff == 0.0 {
+        0.0
+    } else {
+        0.5 * diff.signum()
+    };
     let z = (diff - correction) / var_u.sqrt();
     let p = 2.0 * Normal::standard().sf(z.abs());
     Ok(NonParametricResult {
@@ -154,7 +158,7 @@ pub fn levene_test(a: &[f64], b: &[f64], center: LeveneCenter) -> Result<NonPara
     }
     let dof2 = na + nb - 2.0;
     let w = dof2 * between / within; // F(1, dof2)
-    // F(1, large dof2) ~ chi2(1) = z^2: two-sided normal p on sqrt(W).
+                                     // F(1, large dof2) ~ chi2(1) = z^2: two-sided normal p on sqrt(W).
     let p = 2.0 * Normal::standard().sf(w.max(0.0).sqrt());
     Ok(NonParametricResult {
         statistic: w,

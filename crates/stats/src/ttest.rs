@@ -48,8 +48,7 @@ impl TTestResult {
     ///
     /// Returns [`StatsError::Domain`] if `alpha` is not in `(0, 1)`.
     pub fn critical_value(&self, alpha: f64) -> Result<f64> {
-        let dist = StudentT::new(self.dof)
-            .map_err(|e| StatsError::Domain(e.to_string()))?;
+        let dist = StudentT::new(self.dof).map_err(|e| StatsError::Domain(e.to_string()))?;
         dist.two_sided_critical(alpha)
             .map_err(|e| StatsError::Domain(e.to_string()))
     }
@@ -97,8 +96,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
         return Ok(finalize(0.0, na + nb - 2.0, ma, mb, 0.0));
     }
     // Welch–Satterthwaite degrees of freedom.
-    let dof = (sea + seb) * (sea + seb)
-        / (sea * sea / (na - 1.0) + seb * seb / (nb - 1.0));
+    let dof = (sea + seb) * (sea + seb) / (sea * sea / (na - 1.0) + seb * seb / (nb - 1.0));
     Ok(finalize((ma - mb) / se, dof, ma, mb, se))
 }
 
@@ -200,7 +198,11 @@ pub fn cohens_d(a: &[f64], b: &[f64]) -> Result<f64> {
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let pooled = (((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0)).sqrt();
     if pooled == 0.0 {
-        return Ok(if ma == mb { 0.0 } else { f64::INFINITY.copysign(ma - mb) });
+        return Ok(if ma == mb {
+            0.0
+        } else {
+            f64::INFINITY.copysign(ma - mb)
+        });
     }
     Ok((ma - mb) / pooled)
 }
@@ -322,7 +324,10 @@ mod tests {
     fn cohens_d_known_cases() {
         // One pooled-sd separation.
         let a = [0.0, 1.0, 2.0, 3.0, 4.0];
-        let b: Vec<f64> = a.iter().map(|x| x + a.len() as f64 * 0.0 + 1.5811388).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|x| x + a.len() as f64 * 0.0 + 1.5811388)
+            .collect();
         // sd of a (and b) = sqrt(2.5) = 1.5811; shift by exactly 1 sd.
         let d = cohens_d(&b, &a).unwrap();
         assert!((d - 1.0).abs() < 1e-6, "d = {d}");

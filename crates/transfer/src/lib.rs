@@ -322,8 +322,7 @@ pub fn train_fraction_sweep(
         cfg.min_split = cfg.min_split.max(2 * cfg.min_leaf);
         let tree = ModelTree::fit(&train, &cfg)
             .map_err(|e| TransferError::Stats(StatsError::InsufficientData(e.to_string())))?;
-        let metrics =
-            PredictionMetrics::from_predictions(&tree.predict_all(test), &test.cpis())?;
+        let metrics = PredictionMetrics::from_predictions(&tree.predict_all(test), &test.cpis())?;
         out.push(FractionPoint {
             fraction,
             n_train: train.len(),
@@ -463,8 +462,7 @@ mod tests {
         let config = TransferConfig::default();
         let within =
             TransferabilityReport::assess(&tree, &train, &rest, "c", "c", &config).unwrap();
-        let across =
-            TransferabilityReport::assess(&tree, &train, &omp, "c", "o", &config).unwrap();
+        let across = TransferabilityReport::assess(&tree, &train, &omp, "c", "o", &config).unwrap();
         assert!(within.hypothesis.cpi_effect_size.abs() < 0.1);
         assert!(across.hypothesis.cpi_effect_size.abs() > 0.3);
         assert!(within.render().contains("effect size"));
@@ -495,7 +493,12 @@ mod tests {
         let (train, test) = cpu_split(7, 6_000);
         let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
         let report = TransferabilityReport::assess(
-            &tree, &train, &test, "a", "b", &TransferConfig::default(),
+            &tree,
+            &train,
+            &test,
+            "a",
+            "b",
+            &TransferConfig::default(),
         )
         .unwrap();
         let (c_ci, mae_ci) = metric_confidence(&tree, &test, 200, 0.95, 9).unwrap();

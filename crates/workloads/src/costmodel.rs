@@ -365,9 +365,7 @@ impl CostModel {
             // Paper LM3 ("the model is simply CPI = 0.53").
             Regime::OmpLm3 => 0.53,
             // Paper LM16, verbatim (avg CPI 2.50 at high SIMD density).
-            Regime::OmpLm16 => {
-                0.65 + 9.51 * d(x, L1DMiss) - 1.11 * d(x, Br) + 1.98 * d(x, Simd)
-            }
+            Regime::OmpLm16 => 0.65 + 9.51 * d(x, L1DMiss) - 1.11 * d(x, Br) + 1.98 * d(x, Simd),
             // Paper LM11 plateau (avg CPI 2.79; misaligned SIMD).
             Regime::OmpLm11 => 2.79,
             // Paper LM15, verbatim.
@@ -624,7 +622,11 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         // Lognormal mean = truth * exp(sigma^2/2) ~ truth * 1.00125.
-        assert!((mean / truth - 1.0).abs() < 0.01, "mean ratio {}", mean / truth);
+        assert!(
+            (mean / truth - 1.0).abs() < 0.01,
+            "mean ratio {}",
+            mean / truth
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::{cpu2006, omp2001};
 use perfcounters::counters::{CounterBank, CounterConfig};
 use perfcounters::events::EventId;
 use perfcounters::{Dataset, Sample};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of dataset generation: the counter architecture plus
@@ -192,6 +193,94 @@ impl Suite {
         ds
     }
 
+    /// Generates a labeled dataset like [`Suite::generate`], spreading
+    /// benchmark blocks over up to `n_threads` scoped worker threads.
+    ///
+    /// The output depends only on the rng state and `total`, never on
+    /// `n_threads`: each benchmark's block is drawn from its own stream,
+    /// seeded from the caller's rng in benchmark order, and blocks are
+    /// assembled in benchmark order. Note the per-benchmark streams mean
+    /// the samples differ from (but are statistically equivalent to) the
+    /// single-stream sequential path of [`Suite::generate`], which is
+    /// kept byte-stable for existing seeds.
+    pub fn generate_par<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        total: usize,
+        config: &GeneratorConfig,
+        n_threads: usize,
+    ) -> Dataset {
+        let counts = self.sample_allocation(total);
+        let seeds: Vec<u64> = self.benchmarks.iter().map(|_| rng.next_u64()).collect();
+        let bank = CounterBank::new(config.counters);
+        let n_workers = n_threads.max(1).min(self.benchmarks.len());
+        let mut blocks: Vec<Option<Vec<Sample>>> = vec![None; self.benchmarks.len()];
+        if n_workers <= 1 {
+            for (i, (bench, &n)) in self.benchmarks.iter().zip(&counts).enumerate() {
+                let mut stream = StdRng::seed_from_u64(seeds[i]);
+                blocks[i] = Some(self.generate_block(bench, n, config, &bank, &mut stream));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_workers);
+                for worker in 0..n_workers {
+                    let counts = &counts;
+                    let seeds = &seeds;
+                    let bank = &bank;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = worker;
+                        while i < self.benchmarks.len() {
+                            let mut stream = StdRng::seed_from_u64(seeds[i]);
+                            out.push((
+                                i,
+                                self.generate_block(
+                                    &self.benchmarks[i],
+                                    counts[i],
+                                    config,
+                                    bank,
+                                    &mut stream,
+                                ),
+                            ));
+                            i += n_workers;
+                        }
+                        out
+                    }));
+                }
+                for handle in handles {
+                    for (i, block) in handle.join().expect("generator worker panicked") {
+                        blocks[i] = Some(block);
+                    }
+                }
+            });
+        }
+        let mut ds = Dataset::with_capacity(total);
+        for b in &self.benchmarks {
+            ds.add_benchmark(b.name());
+        }
+        for (bench, block) in self.benchmarks.iter().zip(blocks) {
+            let label = ds.add_benchmark(bench.name());
+            for sample in block.expect("every block is generated") {
+                ds.push(sample, label);
+            }
+        }
+        ds
+    }
+
+    /// Generates `n` measured intervals for one benchmark model.
+    fn generate_block<R: Rng + ?Sized>(
+        &self,
+        bench: &BenchmarkModel,
+        n: usize,
+        config: &GeneratorConfig,
+        bank: &CounterBank,
+        rng: &mut R,
+    ) -> Vec<Sample> {
+        (0..n)
+            .map(|_| self.generate_one(bench, config, bank, rng))
+            .collect()
+    }
+
     /// Generates `n` samples for a single benchmark (by name).
     ///
     /// Returns `None` if the benchmark is not part of this suite.
@@ -324,9 +413,7 @@ mod tests {
             small_dtlb / full_dtlb
         );
         // Lighter memory pressure -> lower CPI.
-        assert!(
-            small.cpi_summary().unwrap().mean() < full.cpi_summary().unwrap().mean() - 0.05
-        );
+        assert!(small.cpi_summary().unwrap().mean() < full.cpi_summary().unwrap().mean() - 0.05);
     }
 
     #[test]
@@ -336,6 +423,51 @@ mod tests {
         let a = s.generate(&mut StdRng::seed_from_u64(7), 200, &config);
         let b = s.generate(&mut StdRng::seed_from_u64(7), 200, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_par_is_thread_count_invariant() {
+        let s = Suite::cpu2006();
+        let config = GeneratorConfig::default();
+        let serial = s.generate_par(&mut StdRng::seed_from_u64(21), 600, &config, 1);
+        for threads in [2, 4, 8, 64] {
+            let par = s.generate_par(&mut StdRng::seed_from_u64(21), 600, &config, threads);
+            assert_eq!(serial, par, "n_threads={threads} changed the dataset");
+        }
+    }
+
+    #[test]
+    fn generate_par_matches_generate_shape() {
+        let s = Suite::omp2001();
+        let config = GeneratorConfig::default();
+        let ds = s.generate_par(&mut StdRng::seed_from_u64(22), 500, &config, 4);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.benchmark_count(), 11);
+        let counts = s.sample_allocation(500);
+        for ((sample, label), _) in ds.iter().zip(0..) {
+            assert!(sample.is_physical());
+            assert!(ds.benchmark_name(label).is_some());
+        }
+        // Per-benchmark block sizes follow the same allocation as the
+        // sequential generator.
+        for (i, bench) in s.benchmarks().iter().enumerate() {
+            let got = ds
+                .iter()
+                .filter(|(_, label)| ds.benchmark_name(*label) == Some(bench.name()))
+                .count();
+            assert_eq!(got, counts[i], "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn generate_par_deterministic_given_seed() {
+        let s = Suite::cpu2006();
+        let config = GeneratorConfig::default();
+        let a = s.generate_par(&mut StdRng::seed_from_u64(23), 300, &config, 4);
+        let b = s.generate_par(&mut StdRng::seed_from_u64(23), 300, &config, 4);
+        assert_eq!(a, b);
+        let c = s.generate_par(&mut StdRng::seed_from_u64(24), 300, &config, 4);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -283,7 +283,11 @@ impl BenchmarkModel {
     ///
     /// Panics if the benchmark has no phases.
     pub fn pick_phase<R: Rng + ?Sized>(&self, rng: &mut R) -> &Phase {
-        assert!(!self.phases.is_empty(), "benchmark {} has no phases", self.name);
+        assert!(
+            !self.phases.is_empty(),
+            "benchmark {} has no phases",
+            self.name
+        );
         let weights: Vec<f64> = self.phases.iter().map(Phase::weight).collect();
         &self.phases[weighted_index(rng, &weights)]
     }

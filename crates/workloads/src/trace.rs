@@ -233,10 +233,7 @@ mod tests {
         for &p in t.phase_indices() {
             counts[p] += 1;
         }
-        let shares: Vec<f64> = counts
-            .iter()
-            .map(|&c| c as f64 / t.len() as f64)
-            .collect();
+        let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / t.len() as f64).collect();
         let expected = [0.50, 0.30, 0.20];
         for (s, e) in shares.iter().zip(expected) {
             assert!((s - e).abs() < 0.05, "share {s} vs expected {e}");

@@ -16,10 +16,7 @@ use spec_suite_repro::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
-    let n_samples: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40_000);
+    let n_samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(31);
 
     let mut rng = StdRng::seed_from_u64(seed);

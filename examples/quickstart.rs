@@ -10,10 +10,7 @@ use spec_suite_repro::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_samples: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
+    let n_samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
 
     // 1. Generate interval samples: each is a 2M-instruction window

@@ -52,10 +52,7 @@ fn characterize_suite(suite: &Suite, n_samples: usize, seed: u64) {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_samples: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40_000);
+    let n_samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
 
     characterize_suite(&Suite::cpu2006(), n_samples, seed);

@@ -14,10 +14,7 @@ use spec_suite_repro::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_samples: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60_000);
+    let n_samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(21);
 
     let gen = GeneratorConfig::default();
@@ -35,9 +32,21 @@ fn main() {
 
     let config = TransferConfig::default();
     let cases = [
-        (&cpu_tree, &cpu_train, &cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
+        (
+            &cpu_tree,
+            &cpu_train,
+            &cpu_rest,
+            "CPU2006 (10%)",
+            "CPU2006 (rest)",
+        ),
         (&cpu_tree, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
-        (&omp_tree, &omp_train, &omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
+        (
+            &omp_tree,
+            &omp_train,
+            &omp_rest,
+            "OMP2001 (10%)",
+            "OMP2001 (rest)",
+        ),
         (&omp_tree, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
     ];
     for (tree, train, test, train_name, test_name) in cases {
@@ -47,8 +56,6 @@ fn main() {
         println!("{}", report.render());
     }
 
-    println!(
-        "paper shape to compare against: within-suite C ~ 0.92 / MAE ~ 0.10 (transferable);"
-    );
+    println!("paper shape to compare against: within-suite C ~ 0.92 / MAE ~ 0.10 (transferable);");
     println!("cross-suite C ~ 0.43 / MAE ~ 0.37 (not transferable), in both directions.");
 }

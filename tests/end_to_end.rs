@@ -93,8 +93,16 @@ fn transferability_pipeline_runs_both_directions() {
         TransferabilityReport::assess(&omp_tree, &omp_train, &cpu_rest, "o", "c", &config)
             .expect("assess");
 
-    assert!(within_cpu.accuracy_transferable(), "{}", within_cpu.render());
-    assert!(within_omp.accuracy_transferable(), "{}", within_omp.render());
+    assert!(
+        within_cpu.accuracy_transferable(),
+        "{}",
+        within_cpu.render()
+    );
+    assert!(
+        within_omp.accuracy_transferable(),
+        "{}",
+        within_omp.render()
+    );
     assert!(!cross_co.accuracy_transferable(), "{}", cross_co.render());
     assert!(!cross_oc.accuracy_transferable(), "{}", cross_oc.render());
 }
@@ -115,12 +123,12 @@ fn baselines_rank_behind_model_tree() {
 
     // The paper's premise: a single linear model cannot capture the
     // piecewise cost structure; the model tree must clearly beat it.
-    assert!(
-        tree_mae < 0.7 * ols_mae,
-        "tree {tree_mae} vs ols {ols_mae}"
-    );
+    assert!(tree_mae < 0.7 * ols_mae, "tree {tree_mae} vs ols {ols_mae}");
     // CART captures the regimes but pays for constant leaves.
-    assert!(tree_mae <= cart_mae * 1.05, "tree {tree_mae} vs cart {cart_mae}");
+    assert!(
+        tree_mae <= cart_mae * 1.05,
+        "tree {tree_mae} vs cart {cart_mae}"
+    );
 }
 
 #[test]

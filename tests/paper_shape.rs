@@ -54,13 +54,48 @@ fn omp2001_tree_roots_on_load_block_overlap() {
 }
 
 #[test]
+fn parallel_fit_preserves_paper_root_splits() {
+    // Regression guard for the presorted split search and parallel
+    // training: the E2 (CPU2006) and E5 (OMP2001) experiments must root
+    // on the same events the paper reports, and a 4-thread fit must be
+    // bit-identical to the serial fit on both.
+    for (suite, seed, root) in [
+        (Suite::cpu2006(), 1u64, EventId::DtlbMiss),
+        (Suite::omp2001(), 2u64, EventId::LdBlkOlp),
+    ] {
+        let data = generate(&suite, seed);
+        let serial = fit(&data);
+        let par_config = M5Config::default()
+            .with_min_leaf((data.len() / 120).max(4))
+            .with_sd_fraction(0.08)
+            .with_n_threads(4);
+        let par = ModelTree::fit(&data, &par_config).expect("parallel fit");
+        assert_eq!(serial.root_split_event(), Some(root), "{}", suite.name());
+        assert_eq!(par.root_split_event(), Some(root), "{}", suite.name());
+        assert!(
+            serial.structural_eq(&par),
+            "{}: 4-thread fit diverged from serial",
+            suite.name()
+        );
+    }
+}
+
+#[test]
 fn suite_cpi_levels_match_paper_bands() {
     // Paper, Section VI-A2: CPU2006 mean CPI 0.96 (sd 0.53); OMP2001
     // mean 1.21 (sd 0.60).
     let cpu = generate(&Suite::cpu2006(), 3).cpi_summary().unwrap();
     let omp = generate(&Suite::omp2001(), 4).cpi_summary().unwrap();
-    assert!((0.75..1.20).contains(&cpu.mean()), "cpu mean {}", cpu.mean());
-    assert!((1.00..1.50).contains(&omp.mean()), "omp mean {}", omp.mean());
+    assert!(
+        (0.75..1.20).contains(&cpu.mean()),
+        "cpu mean {}",
+        cpu.mean()
+    );
+    assert!(
+        (1.00..1.50).contains(&omp.mean()),
+        "omp mean {}",
+        omp.mean()
+    );
     assert!(omp.mean() > cpu.mean());
     assert!(cpu.std_dev() > 0.3 && cpu.std_dev() < 0.8);
 }
@@ -85,9 +120,7 @@ fn hpc_five_are_similar_and_mcf_namd_are_not() {
     }
     let d = matrix.distance_by_name("429.mcf", "444.namd").unwrap();
     assert!(d > 0.85, "mcf vs namd: {d}");
-    let d = matrix
-        .distance_by_name("444.namd", "459.GemsFDTD")
-        .unwrap();
+    let d = matrix.distance_by_name("444.namd", "459.GemsFDTD").unwrap();
     assert!(d > 0.7, "namd vs GemsFDTD: {d}");
 }
 
@@ -141,19 +174,17 @@ fn transferability_verdicts_match_paper() {
     let omp_tree = ModelTree::fit(&omp_train, &m5).unwrap();
     let config = TransferConfig::default();
 
-    let within_cpu = TransferabilityReport::assess(
-        &cpu_tree, &cpu_train, &cpu_rest, "cpu", "cpu", &config,
-    )
-    .unwrap();
+    let within_cpu =
+        TransferabilityReport::assess(&cpu_tree, &cpu_train, &cpu_rest, "cpu", "cpu", &config)
+            .unwrap();
     assert!(within_cpu.transferable(), "{}", within_cpu.render());
     // Paper shape: C = 0.9214, MAE = 0.0988.
     assert!(within_cpu.metrics.correlation > 0.85);
     assert!(within_cpu.metrics.mae < 0.15);
 
-    let within_omp = TransferabilityReport::assess(
-        &omp_tree, &omp_train, &omp_rest, "omp", "omp", &config,
-    )
-    .unwrap();
+    let within_omp =
+        TransferabilityReport::assess(&omp_tree, &omp_train, &omp_rest, "omp", "omp", &config)
+            .unwrap();
     assert!(within_omp.transferable(), "{}", within_omp.render());
 
     let cross_co =
@@ -181,9 +212,7 @@ fn suites_use_different_key_events() {
     let omp_tree = fit(&generate(&Suite::omp2001(), 12));
     let cpu_events = cpu_tree.used_events();
     let omp_events = omp_tree.used_events();
-    let symmetric_difference = cpu_events
-        .symmetric_difference(&omp_events)
-        .count();
+    let symmetric_difference = cpu_events.symmetric_difference(&omp_events).count();
     assert!(
         symmetric_difference >= 2,
         "trees use nearly identical event sets: cpu {cpu_events:?} vs omp {omp_events:?}"

@@ -17,10 +17,19 @@ fn every_generated_sample_is_physical() {
         let data = generate(&suite, 5_000, seed);
         for (s, _) in data.iter() {
             assert!(s.is_physical());
-            assert!(s.cpi() > 0.05 && s.cpi() < 10.0, "implausible CPI {}", s.cpi());
+            assert!(
+                s.cpi() > 0.05 && s.cpi() < 10.0,
+                "implausible CPI {}",
+                s.cpi()
+            );
             // Densities are per-instruction values.
             for e in EventId::ALL {
-                assert!(s.get(e) <= 1.0, "{} density {} > 1", e.short_name(), s.get(e));
+                assert!(
+                    s.get(e) <= 1.0,
+                    "{} density {} > 1",
+                    e.short_name(),
+                    s.get(e)
+                );
             }
         }
     }

@@ -1,0 +1,395 @@
+//! Offline drop-in subset of the `proptest` API used by this workspace.
+//!
+//! Implements the pieces the test suite relies on — the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`, range/tuple/string/vec
+//! strategies, and the `prop_map`/`prop_filter_map` combinators — as a
+//! plain random-case runner. There is no shrinking: a failing case
+//! panics with the case number and assertion message, and every run is
+//! deterministic (the RNG stream is derived from the test's module path
+//! and name), so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// A failed property assertion inside a proptest case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps debug-mode test runs quick
+        // while still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of a test's identity, used to seed its RNG stream.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic per-case RNG.
+#[must_use]
+pub fn rng_for(base: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, retrying when it returns
+    /// `None`.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The [`Strategy::prop_filter_map`] combinator.
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected 10000 consecutive inputs: {}",
+            self.whence
+        )
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u32, u64, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+mod pattern;
+
+/// `&str` strategies are regex-like patterns over a small supported
+/// grammar: literals, `.`, character classes, and `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a range.
+    pub trait SizeSpec {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeSpec for usize {
+        fn pick(&self, _: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeSpec for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose length is drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeSpec>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn` runs its body over random samples
+/// of the named strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __base = $crate::fnv1a(::std::concat!(
+                    ::std::module_path!(), "::", ::std::stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng_for(__base, u64::from(__case));
+                    let ($($arg,)+) = (
+                        $($crate::Strategy::sample(&($strategy), &mut __rng),)+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        ::std::panic!(
+                            "proptest {} failed on case {}/{}: {}",
+                            ::std::stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..7, y in -2.0f64..2.0) {
+            prop_assert!(x < 7);
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in crate::collection::vec(0.0f64..1.0, 3..9),
+            exact in crate::collection::vec(0u64..10, 4usize),
+        ) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn string_patterns_match_grammar(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(0.0f64..1.0, 1..6)
+                .prop_filter_map("nonempty mass", |v| {
+                    let total: f64 = v.iter().sum();
+                    if total > 0.0 { Some(total) } else { None }
+                })
+        ) {
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng_for(crate::fnv1a("x"), 3);
+        let mut b = crate::rng_for(crate::fnv1a("x"), 3);
+        let s: String = crate::Strategy::sample(&"[a-z]{8}", &mut a);
+        let t: String = crate::Strategy::sample(&"[a-z]{8}", &mut b);
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,190 @@
+//! A tiny regex-shaped string generator covering the pattern grammar
+//! this workspace's tests use: literal characters, `.`, character
+//! classes with ranges (`[A-Za-z0-9._\-]`), and `{m,n}` / `{n}`
+//! repetition. Anything outside that grammar panics loudly rather than
+//! silently generating the wrong language.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable ASCII character except newline.
+    Any,
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // A `-` between two class members denotes a range.
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported pattern syntax {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut lo = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                lo.push(chars[i]);
+                i += 1;
+            }
+            let lo: usize = lo.parse().expect("quantifier lower bound");
+            let hi = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut hi = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    hi.push(chars[i]);
+                    i += 1;
+                }
+                hi.parse().expect("quantifier upper bound")
+            } else {
+                lo
+            };
+            assert!(
+                i < chars.len() && chars[i] == '}',
+                "unterminated quantifier in pattern {pattern:?}"
+            );
+            i += 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Any => {
+            // Printable ASCII, the `.`-matchable subset our tests need.
+            char::from(rng.gen_range(0x20u32..0x7F) as u8)
+        }
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0u32..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("class range is valid");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
+}
+
+/// Generates one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_workspace_patterns() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate(".{0,400}", &mut rng);
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = generate("[a-z0-9,.\\-]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ",.-".contains(c)));
+
+            let s = generate("[A-Za-z0-9._]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored value-tree serde stub (see `vendor/serde`). The input
+//! grammar is parsed directly from the `proc_macro` token stream — no
+//! `syn`/`quote`, since those can't be fetched in this offline build
+//! environment.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit variants (incl. explicit discriminants), newtype /
+//!   tuple variants, and struct variants (externally tagged, matching
+//!   upstream serde's default JSON representation)
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`
+//!
+//! Generics and container-level serde attributes are not supported and
+//! fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled in during deserialization.
+#[derive(Clone, Debug)]
+enum MissingPolicy {
+    /// Missing field is an error.
+    Required,
+    /// `#[serde(default)]`: use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    DefaultFn(String),
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    missing: MissingPolicy,
+}
+
+#[derive(Clone, Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; only the arity matters for codegen.
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Clone, Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Clone, Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Clone, Debug)]
+struct Input {
+    name: String,
+    body: Body,
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Parser {
+        Parser {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn peek_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!("serde_derive: expected `{c}`, got {other:?}"),
+        }
+    }
+
+    /// Consumes one `#[...]` attribute, folding any `serde(...)`
+    /// directives it carries into `(skip, missing)`.
+    fn consume_attr(&mut self, skip: &mut bool, missing: &mut MissingPolicy) {
+        self.expect_punct('#');
+        let group = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: expected attribute brackets, got {other:?}"),
+        };
+        let mut inner = Parser::new(group.stream());
+        if !inner.peek_ident("serde") {
+            return; // doc comment, repr, non_exhaustive, ...
+        }
+        inner.next();
+        let list = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde_derive: expected serde(...), got {other:?}"),
+        };
+        let mut args = Parser::new(list.stream());
+        while !args.at_end() {
+            let directive = args.expect_ident();
+            match directive.as_str() {
+                "skip" => *skip = true,
+                "default" => {
+                    if args.peek_punct('=') {
+                        args.next();
+                        match args.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                *missing = MissingPolicy::DefaultFn(path);
+                            }
+                            other => {
+                                panic!(
+                                    "serde_derive: expected string after default =, got {other:?}"
+                                )
+                            }
+                        }
+                    } else {
+                        *missing = MissingPolicy::DefaultTrait;
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+            if args.peek_punct(',') {
+                args.next();
+            }
+        }
+    }
+
+    /// Consumes attributes and visibility before an item/field/variant.
+    fn consume_prelude(&mut self) -> (bool, MissingPolicy) {
+        let mut skip = false;
+        let mut missing = MissingPolicy::Required;
+        loop {
+            if self.peek_punct('#') {
+                self.consume_attr(&mut skip, &mut missing);
+            } else if self.peek_ident("pub") {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next(); // pub(crate) / pub(super)
+                    }
+                }
+            } else {
+                return (skip, missing);
+            }
+        }
+    }
+
+    /// Consumes a type (or discriminant expression): everything up to a
+    /// comma at angle-bracket depth zero.
+    fn consume_until_toplevel_comma(&mut self) {
+        let mut depth: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let (skip, missing) = p.consume_prelude();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident();
+        p.expect_punct(':');
+        p.consume_until_toplevel_comma();
+        if p.peek_punct(',') {
+            p.next();
+        }
+        fields.push(Field {
+            name,
+            skip,
+            missing,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let mut p = Parser::new(stream);
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut depth: i64 = 0;
+    while let Some(t) = p.next() {
+        match t {
+            TokenTree::Punct(ref q) if q.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref q) if q.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref q) if q.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        let _ = p.consume_prelude();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident();
+        let fields = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                p.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(parse_tuple_arity(g.stream()));
+                p.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if p.peek_punct('=') {
+            p.next();
+            p.consume_until_toplevel_comma(); // explicit discriminant
+        }
+        if p.peek_punct(',') {
+            p.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut p = Parser::new(stream);
+    let _ = p.consume_prelude();
+    let kind = p.expect_ident();
+    let name = p.expect_ident();
+    if p.peek_punct('<') {
+        panic!("serde_derive: generic types are not supported by this offline stub");
+    }
+    let body = match kind.as_str() {
+        "struct" => match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(q)) if q.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Input { name, body }
+}
+
+/// Emits the expression that serializes `named` fields (available as
+/// bindings or `self.name` accesses, per `access`) into an object.
+fn gen_named_to_object(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut code = String::from(
+        "{ let mut entries: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        code.push_str(&format!(
+            "entries.push((::std::string::String::from(\"{n}\"), \
+             serde::Serialize::to_value(&{a})));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    code.push_str("serde::Value::Object(entries) }");
+    code
+}
+
+/// Emits the field initializers that rebuild `named` fields from the
+/// object expression `src`.
+fn gen_named_from_object(type_name: &str, fields: &[Field], src: &str) -> String {
+    let mut code = String::new();
+    for f in fields {
+        let missing = match (&f.skip, &f.missing) {
+            (true, _) | (false, MissingPolicy::DefaultTrait) => {
+                "::std::default::Default::default()".to_string()
+            }
+            (false, MissingPolicy::DefaultFn(path)) => format!("{path}()"),
+            (false, MissingPolicy::Required) => format!(
+                "return ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"missing field `{n}` for {t}\")))",
+                n = f.name,
+                t = type_name,
+            ),
+        };
+        if f.skip {
+            code.push_str(&format!("{n}: {missing},\n", n = f.name));
+        } else {
+            code.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{ \
+                 ::std::option::Option::Some(__v) => serde::Deserialize::from_value(__v)?, \
+                 ::std::option::Option::None => {missing}, }},\n",
+                n = f.name,
+            ));
+        }
+    }
+    code
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            gen_named_to_object(fields, &|f| format!("self.{f}"))
+        }
+        Body::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = gen_named_to_object(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {obj})]),\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits = gen_named_from_object(name, fields, "__value");
+            format!(
+                "match __value {{ serde::Value::Object(_) => {{}}, __other => \
+                 return ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"expected object for {name}, got {{:?}}\", __other))), }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{ serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})), __other => \
+                 ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"expected array of {n} for {name}, got {{:?}}\", __other))), }}",
+                items = items.join(", "),
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "match __inner {{ serde::Value::Array(__items) \
+                                 if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({items})), __other => \
+                                 ::std::result::Result::Err(serde::Error(::std::format!(\
+                                 \"expected array of {n} for {name}::{vn}, got {{:?}}\", \
+                                 __other))), }}",
+                                items = items.join(", "),
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {ctor} }},\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let tn = format!("{name}::{vn}");
+                        let inits = gen_named_from_object(&tn, fields, "__inner");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"unknown variant {{:?}} for {name}\", __other))),\n\
+                 }},\n\
+                 serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"unknown variant {{:?}} for {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\
+                 \"expected enum value for {name}, got {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &serde::Value) -> \
+         ::std::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,413 @@
+//! Offline drop-in subset of the `serde_json` API used by this
+//! workspace: JSON text <-> the vendored serde stub's [`Value`] tree.
+//!
+//! Covers `to_string{,_pretty}`, `to_writer`, `to_vec`, `from_str`,
+//! `from_reader`, `from_slice`, `to_value`/`from_value`, and the
+//! [`json!`] macro with string-literal keys (the only key form the
+//! workspace uses).
+
+use std::fmt::Write as _;
+use std::io;
+
+pub use serde::Value;
+
+mod parse;
+
+/// JSON (de)serialization failure.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl std::fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+/// A `Result` with this crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors upstream's signature.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails when the value tree does not match the target type's shape.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's Display for f64 is the shortest representation that
+        // round-trips, but drops the ".0" on integral values; keep it so
+        // the token stays a JSON float.
+        let mut s = format!("{f}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        out.push_str(&s);
+    } else {
+        // serde_json refuses non-finite floats; emitting null matches
+        // its lossy `json!` behavior and keeps reports writable.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this stub.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Never fails in this stub.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value as compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails in this stub.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes a value as compact JSON into a writer.
+///
+/// # Errors
+///
+/// Fails on I/O errors from the writer.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(Error::new)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses a value from JSON bytes.
+///
+/// # Errors
+///
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(Error::new)?;
+    from_str(s)
+}
+
+/// Parses a value from a reader.
+///
+/// # Errors
+///
+/// Fails on I/O errors, malformed JSON, or a shape mismatch.
+pub fn from_reader<R: io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(Error::new)?;
+    from_str(&buf)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Object keys must be string
+/// literals; values may be any serializable Rust expression.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation muncher for [`json!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- array elements -------------------------------------------------
+    (@array [$($elems:expr,)*]) => {
+        $crate::Value::Array(::std::vec![$($elems,)*])
+    };
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($inner:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array
+            [$($elems,)* $crate::json_internal!([$($inner)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array
+            [$($elems,)* $crate::json_internal!({$($inner)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array
+            [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),])
+    };
+    // ---- object entries -------------------------------------------------
+    (@object [$($pairs:expr,)*]) => {
+        $crate::Value::Object(::std::vec![$($pairs,)*])
+    };
+    (@object [$($pairs:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($pairs,)*] $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : null $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key), $crate::Value::Null),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : true $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key), $crate::Value::Bool(true)),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : false $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key), $crate::Value::Bool(false)),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : [$($inner:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key),
+                $crate::json_internal!([$($inner)*])),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : {$($inner:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key),
+                $crate::json_internal!({$($inner)*})),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key),
+                $crate::json_internal!($value)),]
+            $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : $value:expr) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* (::std::string::String::from($key),
+                $crate::json_internal!($value)),])
+    };
+    // ---- single values --------------------------------------------------
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([ $($tt:tt)* ]) => {
+        $crate::json_internal!(@array [] $($tt)*)
+    };
+    ({ $($tt:tt)* }) => {
+        $crate::json_internal!(@object [] $($tt)*)
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for text in [
+            "null",
+            "true",
+            "-42",
+            "18446744073709551615",
+            "0.125",
+            "\"a\\nb\"",
+        ] {
+            let v: Value = from_str(text).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2, "{text}");
+        }
+    }
+
+    #[test]
+    fn float_precision_roundtrip() {
+        let xs = vec![1.0e-17_f64, std::f64::consts::PI, -0.1, 1e300];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "leaf";
+        let v = json!({
+            "tag": name,
+            "count": 3,
+            "ratio": 0.5,
+            "flags": [true, false, null],
+            "nested": {"empty": [], "list": [1, 2.5, "x"]},
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v.get("tag").and_then(Value::as_str), Some("leaf"));
+        assert_eq!(back.get("count").and_then(Value::as_u64), Some(3));
+        assert!(matches!(
+            back.get("nested").and_then(|n| n.get("list")),
+            Some(Value::Array(_))
+        ));
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"a": [1, {"b": 2}], "c": "d"});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        let compact: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, compact);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
