@@ -1,0 +1,114 @@
+//! Compiled-vs-interpreted prediction throughput snapshot.
+//!
+//! Times `predict_all` over the canonical 60k-sample CPU2006 dataset
+//! three ways — interpreted per-sample tree walk, compiled engine with
+//! a serial budget, compiled engine with one thread per core — verifies
+//! the engines agree within 1e-10 on every sample, and writes the
+//! evidence backing the ISSUE 2 acceptance criterion (compiled ≥ 5×
+//! interpreted) as JSON.
+//!
+//! `cargo run --release -p spec-bench --bin bench_predict [output.json]`
+//! (default output: `results/BENCH_predict.json`).
+
+use std::time::Instant;
+
+use serde_json::json;
+use spec_bench::{cpu2006_dataset, fit_suite_tree, N_SAMPLES, SEED_CPU2006};
+
+/// Best-of-`reps` wall-clock time of `routine`, in seconds, after one
+/// untimed warm-up run. Returns the last run's output for verification.
+fn time_best<O>(reps: usize, mut routine: impl FnMut() -> O) -> (f64, O) {
+    let mut out = routine();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = routine();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_predict.json".into());
+    let reps = 10;
+
+    let data = cpu2006_dataset();
+    let tree = fit_suite_tree(&data);
+    let serial = tree.compile().with_n_threads(1);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    let parallel = tree.compile().with_n_threads(threads);
+
+    let (t_interp, interpreted) = time_best(reps, || {
+        (0..data.len())
+            .map(|i| tree.predict(data.sample(i)))
+            .collect::<Vec<f64>>()
+    });
+    let (t_serial, compiled_serial) = time_best(reps, || serial.predict_batch(&data));
+    let (t_par, compiled_par) = time_best(reps, || parallel.predict_batch(&data));
+
+    let max_abs_diff = |a: &[f64], b: &[f64]| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let diff_serial = max_abs_diff(&interpreted, &compiled_serial);
+    let diff_par = max_abs_diff(&interpreted, &compiled_par);
+    assert!(
+        diff_serial <= 1e-10 && diff_par <= 1e-10,
+        "compiled/interpreted disagreement: serial {diff_serial:e}, parallel {diff_par:e}"
+    );
+
+    let rate = |secs: f64| (data.len() as f64 / secs).round();
+    let report = json!({
+        "experiment": "compiled vs interpreted predict_all throughput",
+        "dataset": {
+            "suite": "cpu2006",
+            "seed": SEED_CPU2006,
+            "n_samples": N_SAMPLES,
+        },
+        "tree": { "n_leaves": tree.n_leaves(), "n_nodes": tree.n_nodes() },
+        // The parallel figure only exceeds the serial one on multi-core
+        // hosts; with n_cpus = 1 both measure the same kernel.
+        "n_cpus": threads,
+        "timing_best_of": reps,
+        "interpreted": { "seconds": t_interp, "samples_per_sec": rate(t_interp) },
+        "compiled_serial": {
+            "seconds": t_serial,
+            "samples_per_sec": rate(t_serial),
+            "speedup_vs_interpreted": t_interp / t_serial,
+        },
+        "compiled_parallel": {
+            "n_threads": threads,
+            "seconds": t_par,
+            "samples_per_sec": rate(t_par),
+            "speedup_vs_interpreted": t_interp / t_par,
+        },
+        "exactness": {
+            "tolerance": 1e-10,
+            "max_abs_diff_serial": diff_serial,
+            "max_abs_diff_parallel": diff_par,
+        },
+    });
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, body + "\n").expect("write snapshot");
+
+    println!(
+        "interpreted      {:>10.0} samples/s",
+        data.len() as f64 / t_interp
+    );
+    println!(
+        "compiled(serial) {:>10.0} samples/s  ({:.1}x)",
+        data.len() as f64 / t_serial,
+        t_interp / t_serial
+    );
+    println!(
+        "compiled(par{threads})   {:>10.0} samples/s  ({:.1}x)",
+        data.len() as f64 / t_par,
+        t_interp / t_par
+    );
+    println!("max |diff| serial {diff_serial:e}, parallel {diff_par:e}");
+    println!("wrote {path}");
+}

@@ -15,12 +15,12 @@ pub struct LeafProfile {
 }
 
 impl LeafProfile {
-    /// Classifies every sample of `data` through `tree`.
+    /// Classifies every sample of `data` through `tree` (compiled once
+    /// into the flat batch engine).
     pub fn of(tree: &ModelTree, data: &Dataset) -> LeafProfile {
         let mut counts = vec![0usize; tree.n_leaves()];
-        for i in 0..data.len() {
-            let lm = tree.classify(data.sample(i));
-            counts[lm - 1] += 1;
+        for lm in tree.compile().classify_batch(data) {
+            counts[lm as usize - 1] += 1;
         }
         let n = data.len().max(1) as f64;
         LeafProfile {
@@ -106,8 +106,9 @@ impl ProfileTable {
         let mut counts = vec![vec![0usize; n_leaves]; n_benchmarks];
         let mut totals = vec![0usize; n_benchmarks];
         let mut suite_counts = vec![0usize; n_leaves];
-        for (sample, label) in data.iter() {
-            let lm = tree.classify(sample) - 1;
+        let classes = tree.compile().classify_batch(data);
+        for ((_, label), lm) in data.iter().zip(classes) {
+            let lm = lm as usize - 1;
             counts[label as usize][lm] += 1;
             totals[label as usize] += 1;
             suite_counts[lm] += 1;

@@ -19,10 +19,12 @@ pub struct ClassTimeline {
 }
 
 impl ClassTimeline {
-    /// Classifies a time-ordered slice of samples through a tree.
+    /// Classifies a time-ordered slice of samples through a tree
+    /// (compiled once into the flat batch engine).
     pub fn classify(tree: &ModelTree, samples: &[Sample]) -> ClassTimeline {
+        let engine = tree.compile();
         ClassTimeline {
-            classes: samples.iter().map(|s| tree.classify(s)).collect(),
+            classes: samples.iter().map(|s| engine.classify(s)).collect(),
             n_classes: tree.n_leaves(),
         }
     }

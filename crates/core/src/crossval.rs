@@ -8,7 +8,7 @@
 use crate::config::M5Config;
 use crate::tree::ModelTree;
 use crate::{Result, TreeError};
-use mathkit::describe::correlation;
+use mathkit::describe::{correlation, std_dev};
 use mathkit::sampling::permutation;
 use perfcounters::Dataset;
 use rand::rngs::StdRng;
@@ -22,10 +22,17 @@ pub struct CrossValidation {
     pub fold_mae: Vec<f64>,
     /// Per-fold root mean squared error.
     pub fold_rmse: Vec<f64>,
-    /// Per-fold correlation between predictions and actuals.
+    /// Per-fold correlation between predictions and actuals. Degenerate
+    /// folds (listed in [`CrossValidation::degenerate_folds`]) store 0.
     pub fold_correlation: Vec<f64>,
     /// Per-fold leaf counts of the fitted trees.
     pub fold_leaves: Vec<usize>,
+    /// Folds whose correlation is undefined — a constant prediction or
+    /// actual vector, or a test fold too small to correlate. Recorded
+    /// explicitly (and excluded from [`CrossValidation::mean_correlation`])
+    /// instead of silently reporting a fake "0.0 correlation".
+    #[serde(default)]
+    pub degenerate_folds: Vec<usize>,
 }
 
 impl CrossValidation {
@@ -39,9 +46,17 @@ impl CrossValidation {
         mean(&self.fold_rmse)
     }
 
-    /// Mean of the per-fold correlations.
+    /// Mean of the per-fold correlations, excluding degenerate folds
+    /// (0 if every fold was degenerate).
     pub fn mean_correlation(&self) -> f64 {
-        mean(&self.fold_correlation)
+        let valid: Vec<f64> = self
+            .fold_correlation
+            .iter()
+            .enumerate()
+            .filter(|(fold, _)| !self.degenerate_folds.contains(fold))
+            .map(|(_, &c)| c)
+            .collect();
+        mean(&valid)
     }
 
     /// Mean leaf count across folds.
@@ -49,6 +64,15 @@ impl CrossValidation {
         self.fold_leaves.iter().map(|&l| l as f64).sum::<f64>()
             / self.fold_leaves.len().max(1) as f64
     }
+}
+
+/// Metrics of one completed fold.
+struct FoldOutcome {
+    mae: f64,
+    rmse: f64,
+    correlation: f64,
+    degenerate: bool,
+    leaves: usize,
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -63,13 +87,23 @@ fn mean(xs: &[f64]) -> f64 {
 ///
 /// The dataset is shuffled once with the given seed and partitioned into
 /// `k` near-equal folds; each fold in turn serves as the test set for a
-/// tree trained on the others.
+/// tree trained on the others. Folds are **index views** over the
+/// dataset's shared columnar cache — no samples are copied: training
+/// uses [`ModelTree::fit_indices`] and evaluation runs the compiled
+/// engine's indexed batch prediction.
+///
+/// With [`M5Config::n_threads`] above 1 the fold loop itself runs on
+/// scoped worker threads, dividing the thread budget between concurrent
+/// folds and each fold's fit. Every fold's computation is
+/// thread-count-invariant, and results are always assembled in fold
+/// order, so the outcome is identical for any budget.
 ///
 /// # Errors
 ///
 /// * [`TreeError::InvalidConfig`] if `k < 2` or `k > data.len()`, or if
 ///   the model configuration is invalid.
-/// * Propagates fit errors from [`ModelTree::fit`].
+/// * Propagates fit errors from [`ModelTree::fit_indices`] (first
+///   failing fold in fold order).
 pub fn k_fold(data: &Dataset, config: &M5Config, k: usize, seed: u64) -> Result<CrossValidation> {
     if k < 2 || k > data.len() {
         return Err(TreeError::InvalidConfig(format!(
@@ -82,30 +116,34 @@ pub fn k_fold(data: &Dataset, config: &M5Config, k: usize, seed: u64) -> Result<
     let mut rng = StdRng::seed_from_u64(seed);
     let order = permutation(&mut rng, data.len());
 
-    let mut result = CrossValidation {
-        fold_mae: Vec::with_capacity(k),
-        fold_rmse: Vec::with_capacity(k),
-        fold_correlation: Vec::with_capacity(k),
-        fold_leaves: Vec::with_capacity(k),
+    // Index views in shuffle order: fold f tests on every k-th rank and
+    // trains on the rest, exactly the historical sample-copy layout.
+    let mut train_sets: Vec<Vec<u32>> = vec![Vec::with_capacity(data.len()); k];
+    let mut test_sets: Vec<Vec<u32>> = vec![Vec::with_capacity(data.len() / k + 1); k];
+    for (rank, &idx) in order.iter().enumerate() {
+        let test_fold = rank % k;
+        test_sets[test_fold].push(idx as u32);
+        for (fold, train) in train_sets.iter_mut().enumerate() {
+            if fold != test_fold {
+                train.push(idx as u32);
+            }
+        }
+    }
+
+    // Split the thread budget between concurrent folds and each fold's
+    // fit; leftover threads go to the fits.
+    let budget = config.n_threads.max(1);
+    let workers = budget.min(k);
+    let fold_config = M5Config {
+        n_threads: (budget / workers).max(1),
+        ..*config
     };
-    for fold in 0..k {
-        let mut train = Dataset::with_capacity(data.len());
-        let mut test = Dataset::with_capacity(data.len() / k + 1);
-        for name in data.benchmark_names() {
-            train.add_benchmark(name);
-            test.add_benchmark(name);
-        }
-        for (rank, &idx) in order.iter().enumerate() {
-            let target = if rank % k == fold {
-                &mut test
-            } else {
-                &mut train
-            };
-            target.push(data.sample(idx).clone(), data.label(idx));
-        }
-        let tree = ModelTree::fit(&train, config)?;
-        let predictions = tree.predict_all(&test);
-        let actuals = test.cpis();
+    let run_fold = |fold: usize| -> Result<FoldOutcome> {
+        let tree = ModelTree::fit_indices(data, &train_sets[fold], &fold_config)?;
+        let engine = tree.compile();
+        let predictions = engine.predict_indices(data, &test_sets[fold]);
+        let cpi = data.cpi_column();
+        let actuals: Vec<f64> = test_sets[fold].iter().map(|&i| cpi[i as usize]).collect();
         let n = actuals.len() as f64;
         let mae = predictions
             .iter()
@@ -120,11 +158,72 @@ pub fn k_fold(data: &Dataset, config: &M5Config, k: usize, seed: u64) -> Result<
             .sum::<f64>()
             / n)
             .sqrt();
-        let corr = correlation(&predictions, &actuals).unwrap_or(0.0);
-        result.fold_mae.push(mae);
-        result.fold_rmse.push(rmse);
-        result.fold_correlation.push(corr);
-        result.fold_leaves.push(tree.n_leaves());
+        // A fold is degenerate when Pearson's C is undefined on it:
+        // either vector constant, or too few samples to correlate.
+        let (correlation, degenerate) = match correlation(&predictions, &actuals) {
+            Ok(c) => {
+                let undefined = |xs: &[f64]| std_dev(xs).is_ok_and(|s| s <= 0.0);
+                let degenerate = undefined(&predictions) || undefined(&actuals);
+                (if degenerate { 0.0 } else { c }, degenerate)
+            }
+            Err(_) => (0.0, true),
+        };
+        Ok(FoldOutcome {
+            mae,
+            rmse,
+            correlation,
+            degenerate,
+            leaves: tree.n_leaves(),
+        })
+    };
+
+    let mut outcomes: Vec<Option<Result<FoldOutcome>>> = (0..k).map(|_| None).collect();
+    if workers <= 1 {
+        for (fold, slot) in outcomes.iter_mut().enumerate() {
+            *slot = Some(run_fold(fold));
+        }
+    } else {
+        // Deal folds round-robin to scoped workers; each fold is
+        // self-contained and lands in its own slot, so placement never
+        // affects the result.
+        std::thread::scope(|scope| {
+            let run_fold = &run_fold;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w..k)
+                            .step_by(workers)
+                            .map(|fold| (fold, run_fold(fold)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (fold, outcome) in handle.join().expect("fold worker panicked") {
+                    outcomes[fold] = Some(outcome);
+                }
+            }
+        });
+    }
+
+    let mut result = CrossValidation {
+        fold_mae: Vec::with_capacity(k),
+        fold_rmse: Vec::with_capacity(k),
+        fold_correlation: Vec::with_capacity(k),
+        fold_leaves: Vec::with_capacity(k),
+        degenerate_folds: Vec::new(),
+    };
+    // Assemble (and propagate the first error) in fold order, keeping
+    // the outcome independent of worker scheduling.
+    for (fold, outcome) in outcomes.into_iter().enumerate() {
+        let outcome = outcome.expect("every fold ran")?;
+        result.fold_mae.push(outcome.mae);
+        result.fold_rmse.push(outcome.rmse);
+        result.fold_correlation.push(outcome.correlation);
+        result.fold_leaves.push(outcome.leaves);
+        if outcome.degenerate {
+            result.degenerate_folds.push(fold);
+        }
     }
     Ok(result)
 }
@@ -193,6 +292,44 @@ mod tests {
         let a = k_fold(&ds, &M5Config::default(), 3, 9).unwrap();
         let b = k_fold(&ds, &M5Config::default(), 3, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_results() {
+        let ds = regime_dataset(600, 6);
+        let serial = k_fold(&ds, &M5Config::default(), 5, 3).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = k_fold(&ds, &M5Config::default().with_n_threads(threads), 5, 3).unwrap();
+            assert_eq!(serial, parallel, "n_threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_folds_recorded_not_faked() {
+        // A constant target yields constant predictions in every fold:
+        // Pearson's C is undefined there, and the folds must say so
+        // rather than reporting a fake 0.0 into the mean.
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("flat");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..90 {
+            let mut s = Sample::zeros(1.25);
+            s.set(EventId::Load, rng.gen());
+            ds.push(s, b);
+        }
+        let cv = k_fold(&ds, &M5Config::default(), 3, 1).unwrap();
+        assert_eq!(cv.degenerate_folds, vec![0, 1, 2]);
+        assert!(cv.fold_correlation.iter().all(|&c| c == 0.0));
+        assert_eq!(cv.mean_correlation(), 0.0);
+        // MAE/RMSE are still well-defined and near zero.
+        assert!(cv.mean_mae() < 1e-9);
+    }
+
+    #[test]
+    fn learnable_data_has_no_degenerate_folds() {
+        let ds = regime_dataset(500, 8);
+        let cv = k_fold(&ds, &M5Config::default(), 5, 2).unwrap();
+        assert!(cv.degenerate_folds.is_empty());
     }
 
     #[test]

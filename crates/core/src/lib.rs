@@ -44,6 +44,7 @@
 //! assert!(tree.predict(&probe) > 1.0);
 //! ```
 
+pub mod compiled;
 pub mod config;
 pub mod crossval;
 pub mod display;
@@ -51,6 +52,7 @@ pub mod linreg;
 pub mod split;
 pub mod tree;
 
+pub use compiled::CompiledTree;
 pub use config::M5Config;
 pub use crossval::{k_fold, CrossValidation};
 pub use linreg::LinearModel;

@@ -220,17 +220,59 @@ impl ModelTree {
         // One sort per attribute for the whole fit; every node below
         // inherits sorted order by in-place stable partitioning of the
         // arena's index segments.
-        let mut arena = SortArena::root(&cols);
+        let arena = SortArena::root(&cols);
+        Self::fit_arena(&cols, arena, config)
+    }
+
+    /// Fits an M5' model tree on a row subset of `data` — the samples at
+    /// `indices`, in that order. The fitted tree is identical to fitting
+    /// a dataset holding exactly those rows in the same order, but no
+    /// samples are copied: the sort arena and every per-node computation
+    /// index straight into the dataset's shared columnar cache. This is
+    /// what lets [`crate::crossval::k_fold`] build its folds as index
+    /// views.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelTree::fit`], plus [`TreeError::InvalidConfig`] if any
+    /// index is out of range.
+    pub fn fit_indices(data: &Dataset, indices: &[u32], config: &M5Config) -> Result<ModelTree> {
+        config.validate()?;
+        if indices.is_empty() {
+            return Err(TreeError::InsufficientData("empty training subset".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= data.len()) {
+            return Err(TreeError::InvalidConfig(format!(
+                "sample index {bad} out of range for {} samples",
+                data.len()
+            )));
+        }
+        let cols = Columns::new(data);
+        if indices.iter().any(|&i| !cols.cpi[i as usize].is_finite()) {
+            return Err(TreeError::DegenerateTarget(
+                "CPI contains non-finite values".into(),
+            ));
+        }
+        let arena = SortArena::new(&cols, indices);
+        Self::fit_arena(&cols, arena, config)
+    }
+
+    /// Shared fitting core: grow, prune, and intern over a presorted
+    /// arena whose index lists select the training rows.
+    fn fit_arena(cols: &Columns<'_>, mut arena: SortArena, config: &M5Config) -> Result<ModelTree> {
         let root_set = arena.node_set();
+        let n_training = root_set.len();
         let root_stats = TargetStats::compute(cols.cpi, &root_set.indices);
         let root_sd = root_stats.sd();
         let sd_stop = config.sd_fraction * root_sd;
         let budget = config.n_threads.max(1);
 
-        let mut mask = vec![false; data.len()];
-        let mut scratch = vec![0u32; data.len()];
+        // Partition buffers span the full column length: index lists hold
+        // original row ids even when training on a subset.
+        let mut mask = vec![false; cols.cpi.len()];
+        let mut scratch = vec![0u32; cols.cpi.len()];
         let grown = grow(
-            &cols,
+            cols,
             root_set,
             root_stats,
             0,
@@ -240,13 +282,13 @@ impl ModelTree {
             &mut mask,
             &mut scratch,
         );
-        let pruned = prune(&cols, grown, config, budget);
+        let pruned = prune(cols, grown, config, budget);
 
         let mut tree = ModelTree {
             nodes: Vec::new(),
             root: NodeId(0),
             config: *config,
-            n_training: data.len(),
+            n_training,
             root_sd,
         };
         let mut next_lm = 1;
@@ -561,30 +603,18 @@ impl ModelTree {
 
     /// Predicts CPI for every sample of a dataset.
     ///
-    /// With [`M5Config::n_threads`] above 1, predictions are computed in
-    /// contiguous chunks on scoped worker threads. Each element is
-    /// produced by the same [`ModelTree::predict`] call either way, so
-    /// the output is bit-identical to a serial pass.
+    /// The batch path compiles the tree into a [`CompiledTree`] engine
+    /// (smoothing folded into flat leaf models) and predicts over the
+    /// dataset's columnar cache with [`M5Config::n_threads`] workers.
+    /// Results agree with per-sample [`ModelTree::predict`] within
+    /// `1e-10` (bit-identical when smoothing is off) and are
+    /// bit-identical across thread counts. Callers running many batches
+    /// against the same tree should [`ModelTree::compile`] once and
+    /// reuse the engine.
+    ///
+    /// [`CompiledTree`]: crate::compiled::CompiledTree
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        let threads = self.config.n_threads.max(1).min(data.len());
-        if threads <= 1 {
-            return (0..data.len())
-                .map(|i| self.predict(data.sample(i)))
-                .collect();
-        }
-        let chunk = data.len().div_ceil(threads);
-        let mut out = vec![0.0; data.len()];
-        std::thread::scope(|scope| {
-            for (t, slice) in out.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move || {
-                    for (j, value) in slice.iter_mut().enumerate() {
-                        *value = self.predict(data.sample(start + j));
-                    }
-                });
-            }
-        });
-        out
+        self.compile().predict_batch(data)
     }
 
     /// Mean absolute error over a dataset (0 for an empty set).
@@ -592,11 +622,12 @@ impl ModelTree {
         if data.is_empty() {
             return 0.0;
         }
-        let sum: f64 = (0..data.len())
-            .map(|i| {
-                let s = data.sample(i);
-                (self.predict(s) - s.cpi()).abs()
-            })
+        let cpi = data.cpi_column();
+        let sum: f64 = self
+            .predict_all(data)
+            .iter()
+            .zip(cpi)
+            .map(|(p, y)| (p - y).abs())
             .sum();
         sum / data.len() as f64
     }
@@ -1037,10 +1068,50 @@ mod tests {
     fn predict_all_matches_pointwise() {
         let ds = regime_dataset(200, 13);
         let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+        // The batch path runs the compiled engine (smoothing folded into
+        // the leaves), which reassociates the smoothing arithmetic; the
+        // contract is 1e-10 agreement with the interpreter.
         let all = tree.predict_all(&ds);
         for (i, &p) in all.iter().enumerate() {
-            assert_eq!(p, tree.predict(ds.sample(i)));
+            let q = tree.predict(ds.sample(i));
+            assert!((p - q).abs() < 1e-10, "sample {i}: {p} vs {q}");
         }
+        // Without smoothing the folded model IS the leaf model and the
+        // batch path is bit-identical.
+        let raw = ModelTree::fit(&ds, &M5Config::default().with_smoothing(false)).unwrap();
+        let all = raw.predict_all(&ds);
+        for (i, &p) in all.iter().enumerate() {
+            assert_eq!(p.to_bits(), raw.predict(ds.sample(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn fit_indices_matches_fit_on_materialized_subset() {
+        let ds = regime_dataset(900, 20);
+        // A shuffled, non-contiguous subset, as k_fold produces.
+        let indices: Vec<u32> = (0..ds.len() as u32).filter(|i| i % 3 != 0).rev().collect();
+        let mut subset = Dataset::new();
+        let b = subset.add_benchmark("synth");
+        for &i in &indices {
+            subset.push(ds.sample(i as usize).clone(), b);
+        }
+        let from_indices = ModelTree::fit_indices(&ds, &indices, &M5Config::default()).unwrap();
+        let from_subset = ModelTree::fit(&subset, &M5Config::default()).unwrap();
+        assert!(from_indices.structural_eq(&from_subset));
+        assert_eq!(from_indices.n_training(), indices.len());
+    }
+
+    #[test]
+    fn fit_indices_rejects_bad_input() {
+        let ds = regime_dataset(50, 21);
+        assert!(matches!(
+            ModelTree::fit_indices(&ds, &[], &M5Config::default()),
+            Err(TreeError::InsufficientData(_))
+        ));
+        assert!(matches!(
+            ModelTree::fit_indices(&ds, &[0, 50], &M5Config::default()),
+            Err(TreeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -138,8 +138,9 @@ pub struct TransferabilityReport {
 }
 
 impl TransferabilityReport {
-    /// Runs the full assessment: predicts the test set with `model`,
-    /// then applies both methodologies.
+    /// Runs the full assessment: predicts the test set with `model`
+    /// (compiled once into a batch-inference engine), then applies both
+    /// methodologies.
     ///
     /// # Errors
     ///
@@ -155,7 +156,7 @@ impl TransferabilityReport {
     ) -> Result<TransferabilityReport> {
         let train_cpi = train.cpis();
         let test_cpi = test.cpis();
-        let predicted = model.predict_all(test);
+        let predicted = model.compile().predict_batch(test);
 
         let cpi_datasets = welch_t_test(&train_cpi, &test_cpi)?;
         let cpi_effect_size = cohens_d(&train_cpi, &test_cpi)?;
@@ -351,7 +352,7 @@ pub fn metric_confidence(
     confidence: f64,
     seed: u64,
 ) -> Result<(spec_stats::BootstrapCi, spec_stats::BootstrapCi)> {
-    let predicted = model.predict_all(test);
+    let predicted = model.compile().predict_batch(test);
     let actual = test.cpis();
     let c = spec_stats::correlation_ci(&predicted, &actual, n_resamples, confidence, seed)?;
     let mae = spec_stats::mae_ci(&predicted, &actual, n_resamples, confidence, seed ^ 0x9e37)?;

@@ -6,6 +6,12 @@
 //! is chosen so one sample takes a measurable slice of time, and the
 //! per-iteration min/median/max over the sample set is printed in a
 //! criterion-like line. No statistics beyond that, no HTML reports.
+//!
+//! Like upstream criterion, passing `--test` on the command line
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark
+//! body runs exactly once with no calibration or timed sampling, so CI
+//! can verify the benches still execute without paying for
+//! measurement.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -46,6 +52,8 @@ pub enum Throughput {
 /// Measures one benchmark body.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`--test`): run the body once, skip timing.
+    smoke: bool,
     /// Median per-iteration time of the last `iter` call.
     median: Duration,
     min: Duration,
@@ -53,8 +61,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `routine` repeatedly and records per-iteration timing.
+    /// Runs `routine` repeatedly and records per-iteration timing (or
+    /// exactly once, untimed, in `--test` smoke mode).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // Warm-up and calibration: find an iteration count that makes a
         // sample take ~20ms so short routines aren't drowned in timer
         // noise.
@@ -109,6 +122,10 @@ fn report(group: &str, id: &str, throughput: Option<Throughput>, b: &Bencher) {
     } else {
         format!("{group}/{id}")
     };
+    if b.smoke {
+        println!("Testing {name} ... ok");
+        return;
+    }
     let mut line = format!(
         "{name:<40} time: [{} {} {}]",
         format_duration(b.min),
@@ -135,6 +152,7 @@ fn report(group: &str, id: &str, throughput: Option<Throughput>, b: &Bencher) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    smoke: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
@@ -160,6 +178,7 @@ impl BenchmarkGroup<'_> {
     fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
         let mut bencher = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             median: Duration::ZERO,
             min: Duration::ZERO,
             max: Duration::ZERO,
@@ -195,7 +214,9 @@ impl BenchmarkGroup<'_> {
 
 /// The benchmark harness entry point.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    smoke: bool,
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -203,6 +224,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            smoke: self.smoke,
             throughput: None,
             _criterion: self,
         }
@@ -215,9 +237,12 @@ impl Criterion {
         self
     }
 
-    /// Accepted for API compatibility; CLI options are ignored.
+    /// Applies the supported command-line options: `--test` selects
+    /// smoke mode (run every benchmark body once, untimed). All other
+    /// flags are accepted and ignored for API compatibility.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().any(|arg| arg == "--test");
         self
     }
 }
