@@ -1,0 +1,233 @@
+//! Pure artifact renderers for the E2–E7 experiments.
+//!
+//! Each function returns the exact text its experiment binary prints,
+//! so the binaries stay thin stdout wrappers and the testkit golden
+//! suite can enforce the checked-in `results/` files byte for byte
+//! without spawning processes. Anything here that drifts — a numeric
+//! change, a formatting tweak, a structural difference in the fitted
+//! trees — shows up as a golden-snapshot diff in CI.
+
+use std::fmt::Write;
+
+use characterize::{ProfileTable, SimilarityMatrix};
+use modeltree::{display, ModelTree};
+use perfcounters::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transfer::{TransferConfig, TransferabilityReport};
+
+use crate::{suite_tree_config, SEED_SPLIT};
+
+/// A rendered figure: the stdout report plus the Graphviz source.
+pub struct FigureArtifact {
+    /// The experiment's stdout text (`results/figureN.txt`).
+    pub text: String,
+    /// Graphviz source (`results/figureN.dot`).
+    pub dot: String,
+}
+
+fn render_figure(
+    data: &Dataset,
+    tree: &ModelTree,
+    figure: &str,
+    section: &str,
+    suite: &str,
+    dot_path: &str,
+) -> FigureArtifact {
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure {figure}: {suite} model tree ({} samples)\n",
+        data.len()
+    )
+    .unwrap();
+    writeln!(text, "{}", display::render_summary(tree)).unwrap();
+    writeln!(text, "{}", display::render_tree(tree)).unwrap();
+    writeln!(text, "Leaf linear models (Section {section} equations):\n").unwrap();
+    writeln!(text, "{}", display::render_models(tree)).unwrap();
+    writeln!(
+        text,
+        "Graphviz source written to {dot_path} (dot -Tpdf to render)\n"
+    )
+    .unwrap();
+    writeln!(text, "event importance (sample-weighted SDR):").unwrap();
+    writeln!(text, "{}", display::render_importance(tree)).unwrap();
+    writeln!(text, "training MAE: {:.4}", tree.mean_abs_error(data)).unwrap();
+    FigureArtifact {
+        text,
+        dot: display::render_dot(tree),
+    }
+}
+
+/// Experiment E2 — Figure 1: the SPEC CPU2006 model tree, its leaf
+/// equations, event importance, and training MAE.
+pub fn figure1(data: &Dataset, tree: &ModelTree) -> FigureArtifact {
+    render_figure(data, tree, "1", "IV", "SPEC CPU2006", "results/figure1.dot")
+}
+
+/// Experiment E5 — Figure 2: the SPEC OMP2001 model tree.
+pub fn figure2(data: &Dataset, tree: &ModelTree) -> FigureArtifact {
+    render_figure(data, tree, "2", "V", "SPEC OMP2001", "results/figure2.dot")
+}
+
+/// Experiment E3 — Table II: sample distribution across linear models
+/// by SPEC CPU2006 benchmark.
+pub fn table2(data: &Dataset, tree: &ModelTree) -> String {
+    let table = ProfileTable::build(tree, data);
+    format!(
+        "Table II: sample distribution across linear models by benchmark (percent)\n\n{}\n",
+        table.render()
+    )
+}
+
+/// Experiment E6 — Table IV: sample distribution across linear models
+/// by SPEC OMP2001 benchmark.
+pub fn table4(data: &Dataset, tree: &ModelTree) -> String {
+    let table = ProfileTable::build(tree, data);
+    format!(
+        "Table IV: sample distribution across linear models by benchmark (percent)\n\n{}\n",
+        table.render()
+    )
+}
+
+/// Experiment E4 — Table III: pairwise L1 profile distances for the
+/// paper's highlighted SPEC CPU2006 subset, the headline pairs, and the
+/// most suite-representative benchmarks.
+pub fn table3(data: &Dataset, tree: &ModelTree) -> String {
+    let table = ProfileTable::build(tree, data);
+    let matrix = SimilarityMatrix::from_table(&table);
+    let mut text = String::new();
+
+    writeln!(
+        text,
+        "Table III: benchmark similarity (L1 distance between LM profiles, percent)\n"
+    )
+    .unwrap();
+    let subset = [
+        "456.hmmer",
+        "444.namd",
+        "435.gromacs",
+        "454.calculix",
+        "447.dealII",
+        "429.mcf",
+        "459.GemsFDTD",
+        "473.astar",
+        "464.h264ref",
+        "436.cactusADM",
+        "470.lbm",
+    ];
+    writeln!(text, "{}", matrix.render_subset(&subset)).unwrap();
+
+    writeln!(text, "paper's headline pairs:").unwrap();
+    for (a, b) in [
+        ("456.hmmer", "444.namd"),
+        ("435.gromacs", "444.namd"),
+        ("435.gromacs", "456.hmmer"),
+        ("454.calculix", "447.dealII"),
+        ("429.mcf", "444.namd"),
+        ("429.mcf", "459.GemsFDTD"),
+        ("444.namd", "459.GemsFDTD"),
+    ] {
+        let d = matrix.distance_by_name(a, b).expect("benchmarks present");
+        writeln!(text, "  {a:<16} vs {b:<16} {:>6.1}%", 100.0 * d).unwrap();
+    }
+    writeln!(text, "\nmost suite-representative benchmarks:").unwrap();
+    let mut names: Vec<&String> = matrix.names().iter().collect();
+    names.sort_by(|a, b| {
+        matrix
+            .distance_to_suite(a)
+            .unwrap()
+            .total_cmp(&matrix.distance_to_suite(b).unwrap())
+    });
+    for name in names.iter().take(5) {
+        writeln!(
+            text,
+            "  {name:<16} {:>6.1}% from suite profile",
+            100.0 * matrix.distance_to_suite(name).unwrap()
+        )
+        .unwrap();
+    }
+    text
+}
+
+/// Experiments E7–E9 — Section VI: t-tests and prediction-accuracy
+/// metrics for all four transfer directions, with bootstrap CIs.
+pub fn transferability(cpu: &Dataset, omp: &Dataset) -> String {
+    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
+    // The paper trains on a random 10% of each suite. The split order
+    // (CPU first, OMP second, one RNG stream) is part of the artifact.
+    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
+    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
+
+    let m5 = suite_tree_config(cpu_train.len());
+    let cpu_tree = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
+    let omp_tree = ModelTree::fit(&omp_train, &m5).expect("omp fit");
+    let config = TransferConfig::default();
+
+    let mut text = String::new();
+    writeln!(text, "Section VI: transferability of performance models").unwrap();
+    writeln!(
+        text,
+        "train sets: 10% of each suite ({} / {} samples)\n",
+        cpu_train.len(),
+        omp_train.len()
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "CPI statistics: CPU2006 train mean {:.4} sd {:.4}; OMP2001 mean {:.4} sd {:.4}",
+        cpu_train.cpi_summary().unwrap().mean(),
+        cpu_train.cpi_summary().unwrap().std_dev(),
+        omp_rest.cpi_summary().unwrap().mean(),
+        omp_rest.cpi_summary().unwrap().std_dev(),
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "(paper: CPU2006 mean 0.96 sd 0.53; OMP2001 mean 1.21 sd 0.60)\n"
+    )
+    .unwrap();
+
+    let cases = [
+        (
+            &cpu_tree,
+            &cpu_train,
+            &cpu_rest,
+            "CPU2006 (10%)",
+            "CPU2006 (rest)",
+        ),
+        (&cpu_tree, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
+        (
+            &omp_tree,
+            &omp_train,
+            &omp_rest,
+            "OMP2001 (10%)",
+            "OMP2001 (rest)",
+        ),
+        (&omp_tree, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
+    ];
+    for (tree, train, test, a, b) in cases {
+        let report = TransferabilityReport::assess(tree, train, test, a, b, &config)
+            .expect("datasets large enough");
+        writeln!(text, "{}", report.render()).unwrap();
+        let (c_ci, mae_ci) =
+            transfer::metric_confidence(tree, test, 300, 0.95, SEED_SPLIT).expect("bootstrap");
+        writeln!(
+            text,
+            "  95% bootstrap CIs: C in [{:.4}, {:.4}], MAE in [{:.4}, {:.4}]\n",
+            c_ci.lower, c_ci.upper, mae_ci.lower, mae_ci.upper
+        )
+        .unwrap();
+    }
+    writeln!(
+        text,
+        "paper shape: within-suite C = 0.9214 / MAE = 0.0988 (transferable);"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "cross-suite C = 0.4337 / MAE = 0.3721 (not transferable); symmetric for OMP2001."
+    )
+    .unwrap();
+    text
+}

@@ -1,27 +1,17 @@
 //! Experiment E2 — regenerates Figure 1 (the SPEC CPU2006 model tree)
 //! and the leaf equations of Section IV (LM1, LM7, LM8, ...).
+//!
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/figure1.{txt,dot}`.
 
-use modeltree::display;
-use spec_bench::{cpu2006_dataset, fit_suite_tree};
+use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree};
 
 fn main() {
     let data = cpu2006_dataset();
     let tree = fit_suite_tree(&data);
-    println!(
-        "Figure 1: SPEC CPU2006 model tree ({} samples)\n",
-        data.len()
-    );
-    println!("{}", display::render_summary(&tree));
-    println!("{}", display::render_tree(&tree));
-    println!("Leaf linear models (Section IV equations):\n");
-    println!("{}", display::render_models(&tree));
+    let art = artifacts::figure1(&data, &tree);
     if std::fs::create_dir_all("results").is_ok() {
-        let dot = display::render_dot(&tree);
-        if std::fs::write("results/figure1.dot", dot).is_ok() {
-            println!("Graphviz source written to results/figure1.dot (dot -Tpdf to render)\n");
-        }
+        let _ = std::fs::write("results/figure1.dot", &art.dot);
     }
-    println!("event importance (sample-weighted SDR):");
-    println!("{}", display::render_importance(&tree));
-    println!("training MAE: {:.4}", tree.mean_abs_error(&data));
+    print!("{}", art.text);
 }

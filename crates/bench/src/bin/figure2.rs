@@ -1,27 +1,17 @@
 //! Experiment E5 — regenerates Figure 2 (the SPEC OMP2001 model tree)
 //! and the leaf equations of Section V (LM17, LM18, LM2/6/15/16).
+//!
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/figure2.{txt,dot}`.
 
-use modeltree::display;
-use spec_bench::{fit_suite_tree, omp2001_dataset};
+use spec_bench::{artifacts, fit_suite_tree, omp2001_dataset};
 
 fn main() {
     let data = omp2001_dataset();
     let tree = fit_suite_tree(&data);
-    println!(
-        "Figure 2: SPEC OMP2001 model tree ({} samples)\n",
-        data.len()
-    );
-    println!("{}", display::render_summary(&tree));
-    println!("{}", display::render_tree(&tree));
-    println!("Leaf linear models (Section V equations):\n");
-    println!("{}", display::render_models(&tree));
+    let art = artifacts::figure2(&data, &tree);
     if std::fs::create_dir_all("results").is_ok() {
-        let dot = display::render_dot(&tree);
-        if std::fs::write("results/figure2.dot", dot).is_ok() {
-            println!("Graphviz source written to results/figure2.dot (dot -Tpdf to render)\n");
-        }
+        let _ = std::fs::write("results/figure2.dot", &art.dot);
     }
-    println!("event importance (sample-weighted SDR):");
-    println!("{}", display::render_importance(&tree));
-    println!("training MAE: {:.4}", tree.mean_abs_error(&data));
+    print!("{}", art.text);
 }

@@ -1,13 +1,13 @@
 //! Experiment E3 — regenerates Table II: sample distribution across
 //! linear models by SPEC CPU2006 benchmark (entries >= 20% starred).
+//!
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/table2.txt`.
 
-use characterize::ProfileTable;
-use spec_bench::{cpu2006_dataset, fit_suite_tree};
+use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree};
 
 fn main() {
     let data = cpu2006_dataset();
     let tree = fit_suite_tree(&data);
-    let table = ProfileTable::build(&tree, &data);
-    println!("Table II: sample distribution across linear models by benchmark (percent)\n");
-    println!("{}", table.render());
+    print!("{}", artifacts::table2(&data, &tree));
 }

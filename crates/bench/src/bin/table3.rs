@@ -1,57 +1,14 @@
 //! Experiment E4 — regenerates Table III: pairwise L1 profile distances
 //! for the paper's highlighted SPEC CPU2006 subset, plus the headline
 //! similar/dissimilar pairs.
+//!
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/table3.txt`.
 
-use characterize::{ProfileTable, SimilarityMatrix};
-use spec_bench::{cpu2006_dataset, fit_suite_tree};
+use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree};
 
 fn main() {
     let data = cpu2006_dataset();
     let tree = fit_suite_tree(&data);
-    let table = ProfileTable::build(&tree, &data);
-    let matrix = SimilarityMatrix::from_table(&table);
-
-    println!("Table III: benchmark similarity (L1 distance between LM profiles, percent)\n");
-    let subset = [
-        "456.hmmer",
-        "444.namd",
-        "435.gromacs",
-        "454.calculix",
-        "447.dealII",
-        "429.mcf",
-        "459.GemsFDTD",
-        "473.astar",
-        "464.h264ref",
-        "436.cactusADM",
-        "470.lbm",
-    ];
-    println!("{}", matrix.render_subset(&subset));
-
-    println!("paper's headline pairs:");
-    for (a, b) in [
-        ("456.hmmer", "444.namd"),
-        ("435.gromacs", "444.namd"),
-        ("435.gromacs", "456.hmmer"),
-        ("454.calculix", "447.dealII"),
-        ("429.mcf", "444.namd"),
-        ("429.mcf", "459.GemsFDTD"),
-        ("444.namd", "459.GemsFDTD"),
-    ] {
-        let d = matrix.distance_by_name(a, b).expect("benchmarks present");
-        println!("  {a:<16} vs {b:<16} {:>6.1}%", 100.0 * d);
-    }
-    println!("\nmost suite-representative benchmarks:");
-    let mut names: Vec<&String> = matrix.names().iter().collect();
-    names.sort_by(|a, b| {
-        matrix
-            .distance_to_suite(a)
-            .unwrap()
-            .total_cmp(&matrix.distance_to_suite(b).unwrap())
-    });
-    for name in names.iter().take(5) {
-        println!(
-            "  {name:<16} {:>6.1}% from suite profile",
-            100.0 * matrix.distance_to_suite(name).unwrap()
-        );
-    }
+    print!("{}", artifacts::table3(&data, &tree));
 }

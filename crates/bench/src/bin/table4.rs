@@ -1,13 +1,13 @@
 //! Experiment E6 — regenerates Table IV: sample distribution across
 //! linear models by SPEC OMP2001 benchmark.
+//!
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/table4.txt`.
 
-use characterize::ProfileTable;
-use spec_bench::{fit_suite_tree, omp2001_dataset};
+use spec_bench::{artifacts, fit_suite_tree, omp2001_dataset};
 
 fn main() {
     let data = omp2001_dataset();
     let tree = fit_suite_tree(&data);
-    let table = ProfileTable::build(&tree, &data);
-    println!("Table IV: sample distribution across linear models by benchmark (percent)\n");
-    println!("{}", table.render());
+    print!("{}", artifacts::table4(&data, &tree));
 }

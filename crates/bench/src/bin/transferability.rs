@@ -1,69 +1,14 @@
 //! Experiments E7–E9 — regenerates Section VI: the two-sample t-tests
 //! and prediction-accuracy metrics for all four transfer directions.
+//!
+//! All rendering (including the train/test splits and tree fits) lives
+//! in [`spec_bench::artifacts`] so the testkit golden-snapshot suite
+//! can enforce `results/transferability.txt`.
 
-use modeltree::ModelTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use spec_bench::{cpu2006_dataset, omp2001_dataset, suite_tree_config, SEED_SPLIT};
-use transfer::{TransferConfig, TransferabilityReport};
+use spec_bench::{artifacts, cpu2006_dataset, omp2001_dataset};
 
 fn main() {
     let cpu = cpu2006_dataset();
     let omp = omp2001_dataset();
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-    // The paper trains on a random 10% of each suite.
-    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
-    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
-
-    let m5 = suite_tree_config(cpu_train.len());
-    let cpu_tree = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
-    let omp_tree = ModelTree::fit(&omp_train, &m5).expect("omp fit");
-    let config = TransferConfig::default();
-
-    println!("Section VI: transferability of performance models");
-    println!(
-        "train sets: 10% of each suite ({} / {} samples)\n",
-        cpu_train.len(),
-        omp_train.len()
-    );
-    println!(
-        "CPI statistics: CPU2006 train mean {:.4} sd {:.4}; OMP2001 mean {:.4} sd {:.4}",
-        cpu_train.cpi_summary().unwrap().mean(),
-        cpu_train.cpi_summary().unwrap().std_dev(),
-        omp_rest.cpi_summary().unwrap().mean(),
-        omp_rest.cpi_summary().unwrap().std_dev(),
-    );
-    println!("(paper: CPU2006 mean 0.96 sd 0.53; OMP2001 mean 1.21 sd 0.60)\n");
-
-    let cases = [
-        (
-            &cpu_tree,
-            &cpu_train,
-            &cpu_rest,
-            "CPU2006 (10%)",
-            "CPU2006 (rest)",
-        ),
-        (&cpu_tree, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
-        (
-            &omp_tree,
-            &omp_train,
-            &omp_rest,
-            "OMP2001 (10%)",
-            "OMP2001 (rest)",
-        ),
-        (&omp_tree, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
-    ];
-    for (tree, train, test, a, b) in cases {
-        let report = TransferabilityReport::assess(tree, train, test, a, b, &config)
-            .expect("datasets large enough");
-        println!("{}", report.render());
-        let (c_ci, mae_ci) =
-            transfer::metric_confidence(tree, test, 300, 0.95, SEED_SPLIT).expect("bootstrap");
-        println!(
-            "  95% bootstrap CIs: C in [{:.4}, {:.4}], MAE in [{:.4}, {:.4}]\n",
-            c_ci.lower, c_ci.upper, mae_ci.lower, mae_ci.upper
-        );
-    }
-    println!("paper shape: within-suite C = 0.9214 / MAE = 0.0988 (transferable);");
-    println!("cross-suite C = 0.4337 / MAE = 0.3721 (not transferable); symmetric for OMP2001.");
+    print!("{}", artifacts::transferability(&cpu, &omp));
 }

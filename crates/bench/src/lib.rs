@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::generator::{GeneratorConfig, Suite};
 
+pub mod artifacts;
+
 /// Seed for the SPEC CPU2006 dataset used by all experiments.
 pub const SEED_CPU2006: u64 = 20_080_401;
 /// Seed for the SPEC OMP2001 dataset used by all experiments.

@@ -326,6 +326,36 @@ mod tests {
     }
 
     #[test]
+    fn leave_one_out_single_sample_folds_are_degenerate() {
+        // k = n: every test fold holds one sample, too few to correlate.
+        // Each fold must be recorded as degenerate, while MAE/RMSE stay
+        // well-defined.
+        let ds = regime_dataset(12, 9);
+        let cv = k_fold(&ds, &M5Config::default(), 12, 5).unwrap();
+        assert_eq!(cv.degenerate_folds, (0..12).collect::<Vec<_>>());
+        assert!(cv.fold_correlation.iter().all(|&c| c == 0.0));
+        assert_eq!(cv.mean_correlation(), 0.0);
+        assert!(cv.fold_mae.iter().all(|m| m.is_finite()));
+        assert!(cv.fold_rmse.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn train_folds_below_min_split_yield_degenerate_constant_leaves() {
+        // With 10 samples and k = 2, each training fold has 5 samples —
+        // below the default min_split of 8 (and only just above
+        // min_leaf). The tree cannot split, the single leaf predicts a
+        // constant, and the fold's correlation is undefined: it must be
+        // recorded as degenerate, not reported as 0.0-correlation truth.
+        let ds = regime_dataset(10, 10);
+        let config = M5Config::default();
+        assert!(10 / 2 < config.min_split);
+        let cv = k_fold(&ds, &config, 2, 3).unwrap();
+        assert_eq!(cv.fold_leaves, vec![1, 1]);
+        assert_eq!(cv.degenerate_folds, vec![0, 1]);
+        assert!(cv.mean_mae().is_finite());
+    }
+
+    #[test]
     fn learnable_data_has_no_degenerate_folds() {
         let ds = regime_dataset(500, 8);
         let cv = k_fold(&ds, &M5Config::default(), 5, 2).unwrap();

@@ -70,6 +70,11 @@ pub enum TreeError {
     /// The target column was degenerate in a way that prevents fitting
     /// (e.g. non-finite CPI values).
     DegenerateTarget(String),
+    /// An attribute column contained a NaN or infinite cell. Non-finite
+    /// attribute values poison threshold midpoints (`0.5 * (v + NaN)`)
+    /// and would let the split search produce empty partitions, so they
+    /// are rejected up front.
+    NonFiniteAttribute(String),
 }
 
 impl std::fmt::Display for TreeError {
@@ -78,6 +83,7 @@ impl std::fmt::Display for TreeError {
             TreeError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             TreeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TreeError::DegenerateTarget(msg) => write!(f, "degenerate target: {msg}"),
+            TreeError::NonFiniteAttribute(msg) => write!(f, "non-finite attribute: {msg}"),
         }
     }
 }

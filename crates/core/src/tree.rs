@@ -205,6 +205,8 @@ impl ModelTree {
     /// * [`TreeError::InvalidConfig`] for out-of-range hyper-parameters.
     /// * [`TreeError::InsufficientData`] for an empty training set.
     /// * [`TreeError::DegenerateTarget`] if any CPI value is non-finite.
+    /// * [`TreeError::NonFiniteAttribute`] if any event cell is NaN or
+    ///   infinite.
     pub fn fit(data: &Dataset, config: &M5Config) -> Result<ModelTree> {
         config.validate()?;
         if data.is_empty() {
@@ -216,6 +218,7 @@ impl ModelTree {
                 "CPI contains non-finite values".into(),
             ));
         }
+        check_finite_attributes(&cols, None)?;
 
         // One sort per attribute for the whole fit; every node below
         // inherits sorted order by in-place stable partitioning of the
@@ -253,6 +256,7 @@ impl ModelTree {
                 "CPI contains non-finite values".into(),
             ));
         }
+        check_finite_attributes(&cols, Some(indices))?;
         let arena = SortArena::new(&cols, indices);
         Self::fit_arena(&cols, arena, config)
     }
@@ -631,6 +635,32 @@ impl ModelTree {
             .sum();
         sum / data.len() as f64
     }
+}
+
+/// Rejects NaN/infinite attribute cells before any fitting work. A
+/// non-finite cell would sort to one end of the attribute order and then
+/// produce a non-finite midpoint threshold (`0.5 * (v + inf)` or NaN),
+/// under which `partition_point` yields an empty or min-leaf-violating
+/// child. With `indices`, only the selected rows are checked (a fold may
+/// legitimately exclude a corrupt row).
+fn check_finite_attributes(cols: &Columns<'_>, indices: Option<&[u32]>) -> Result<()> {
+    for event in EventId::ALL {
+        let col = cols.event(event);
+        let bad = match indices {
+            None => col.iter().position(|v| !v.is_finite()),
+            Some(idx) => idx
+                .iter()
+                .find(|&&i| !col[i as usize].is_finite())
+                .map(|&i| i as usize),
+        };
+        if let Some(row) = bad {
+            return Err(TreeError::NonFiniteAttribute(format!(
+                "event {} has a non-finite value at row {row}",
+                event.short_name()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Recursive growing phase.

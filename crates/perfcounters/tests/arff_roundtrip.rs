@@ -1,0 +1,172 @@
+//! ARFF round-trip and malformed-input rejection tests.
+//!
+//! `to_arff` prints floats with Rust's shortest-roundtrip formatting, so
+//! reading back what was written must reproduce every cell **bit
+//! exactly** — asserted here across proptest-generated datasets. The
+//! rejection half feeds truncated headers, wrong-arity rows, and
+//! non-numeric cells to `from_arff` and requires an `Err` (never a
+//! panic).
+
+use perfcounters::arff::{from_arff, to_arff};
+use perfcounters::{Dataset, EventId, Sample};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["429.mcf", "444.namd", "310.wupwise_m", "suite, with comma"];
+
+/// Builds a dataset from generated rows: a label index plus three event
+/// densities and a CPI.
+fn dataset_from_rows(rows: &[(usize, f64, f64, f64, f64)]) -> Dataset {
+    let mut ds = Dataset::new();
+    let labels: Vec<_> = LABELS.iter().map(|n| ds.add_benchmark(n)).collect();
+    for &(which, dtlb, load, l2, cpi) in rows {
+        let mut s = Sample::zeros(cpi);
+        s.set(EventId::DtlbMiss, dtlb);
+        s.set(EventId::Load, load);
+        s.set(EventId::L2Miss, l2);
+        ds.push(s, labels[which % LABELS.len()]);
+    }
+    ds
+}
+
+fn row_strategy() -> impl Strategy<Value = (usize, f64, f64, f64, f64)> {
+    (
+        0usize..LABELS.len(),
+        0.0f64..1e-3,
+        0.0f64..0.5,
+        0.0f64..2e-3,
+        0.1f64..5.0,
+    )
+}
+
+fn arff_text(ds: &Dataset) -> String {
+    let mut buf = Vec::new();
+    to_arff(ds, "prop_rel", &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_is_bit_exact(
+        rows in proptest::collection::vec(row_strategy(), 1..60),
+    ) {
+        let ds = dataset_from_rows(&rows);
+        let back = from_arff(arff_text(&ds).as_bytes()).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            prop_assert_eq!(back.sample(i).cpi().to_bits(), ds.sample(i).cpi().to_bits());
+            for e in EventId::ALL {
+                prop_assert_eq!(
+                    back.sample(i).get(e).to_bits(),
+                    ds.sample(i).get(e).to_bits()
+                );
+            }
+            // Commas inside benchmark names are sanitized to `_` on
+            // write, so the round-tripped label is comma-free but
+            // otherwise identical.
+            let orig = ds.benchmark_name(ds.label(i)).unwrap().replace(',', "_");
+            prop_assert_eq!(back.benchmark_name(back.label(i)).unwrap(), orig);
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected(
+        rows in proptest::collection::vec(row_strategy(), 2..20),
+        cut_frac in 0.05f64..0.95,
+    ) {
+        // Cut the text anywhere inside the header: parsing must fail
+        // (no @DATA section or broken attribute layout), never panic.
+        let text = arff_text(&dataset_from_rows(&rows));
+        let header_end = text.find("@DATA").unwrap();
+        let cut = ((header_end as f64) * cut_frac) as usize;
+        let truncated: String = text
+            .char_indices()
+            .take_while(|&(i, _)| i < cut)
+            .map(|(_, c)| c)
+            .collect();
+        prop_assert!(from_arff(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_rows_rejected(
+        rows in proptest::collection::vec(row_strategy(), 2..20),
+        extra in 0usize..3,
+    ) {
+        // Append a data row with the wrong number of fields (both too
+        // few and too many).
+        let mut text = arff_text(&dataset_from_rows(&rows));
+        let n_fields = 3 + extra; // always != N_EVENTS + 2 = 21
+        let bad_row = vec!["1.0"; n_fields].join(",");
+        text.push_str(&bad_row);
+        text.push('\n');
+        prop_assert!(from_arff(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_numeric_cells_rejected(
+        rows in proptest::collection::vec(row_strategy(), 2..20),
+        col in 1usize..21,
+    ) {
+        // Corrupt one numeric cell of the first data row.
+        let text = arff_text(&dataset_from_rows(&rows));
+        let data_start = text.find("@DATA").unwrap();
+        let row_start = data_start + text[data_start..].find('\n').unwrap() + 1;
+        let row_end = row_start + text[row_start..].find('\n').unwrap();
+        let mut fields: Vec<String> =
+            text[row_start..row_end].split(',').map(str::to_owned).collect();
+        fields[col] = "not_a_number".to_owned();
+        let corrupted = format!(
+            "{}{}{}",
+            &text[..row_start],
+            fields.join(","),
+            &text[row_end..]
+        );
+        prop_assert!(from_arff(corrupted.as_bytes()).is_err());
+    }
+}
+
+#[test]
+fn reordered_attributes_rejected() {
+    // Swap two attribute lines: the layout check must refuse the file.
+    let ds = dataset_from_rows(&[(0, 1e-4, 0.2, 1e-4, 1.0), (1, 2e-4, 0.3, 2e-4, 1.5)]);
+    let text = arff_text(&ds);
+    let lines: Vec<&str> = text.lines().collect();
+    let mut swapped: Vec<&str> = lines.clone();
+    let attrs: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("@ATTRIBUTE") && !l.contains("benchmark"))
+        .map(|(i, _)| i)
+        .collect();
+    swapped.swap(attrs[0], attrs[1]);
+    assert!(from_arff(swapped.join("\n").as_bytes()).is_err());
+}
+
+#[test]
+fn stray_line_before_data_rejected() {
+    let ds = dataset_from_rows(&[(0, 1e-4, 0.2, 1e-4, 1.0)]);
+    let text = arff_text(&ds).replace("@DATA", "stray header junk\n@DATA");
+    assert!(from_arff(text.as_bytes()).is_err());
+}
+
+#[test]
+fn non_finite_cells_roundtrip_too() {
+    // ARFF is a transport format: NaN/inf cells survive the round trip
+    // verbatim (rejecting them is the trainer's job, not the parser's).
+    let mut ds = Dataset::new();
+    let b = ds.add_benchmark("weird");
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0] {
+        let mut s = Sample::zeros(1.0);
+        s.set(EventId::Load, v);
+        ds.push(s, b);
+    }
+    let back = from_arff(arff_text(&ds).as_bytes()).unwrap();
+    assert_eq!(back.len(), 4);
+    for i in 0..4 {
+        assert_eq!(
+            back.sample(i).get(EventId::Load).to_bits(),
+            ds.sample(i).get(EventId::Load).to_bits()
+        );
+    }
+}

@@ -54,6 +54,25 @@ impl TTestResult {
     }
 }
 
+/// Result for a zero-standard-error two-sample comparison: both sides
+/// are exact constants, so the verdict is decided by the means alone —
+/// `t = 0, p = 1` when they agree, `t = ±inf, p = 0` when they differ.
+fn degenerate_constant(mean_a: f64, mean_b: f64, dof: f64) -> TTestResult {
+    let diff = mean_a - mean_b;
+    TTestResult {
+        statistic: if diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(diff)
+        },
+        dof,
+        p_value: if diff == 0.0 { 1.0 } else { 0.0 },
+        mean_a,
+        mean_b,
+        std_err: 0.0,
+    }
+}
+
 fn finalize(statistic: f64, dof: f64, mean_a: f64, mean_b: f64, std_err: f64) -> TTestResult {
     let dist = StudentT::new(dof.max(1.0)).expect("dof >= 1");
     TTestResult {
@@ -92,8 +111,10 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     let seb = vb / nb;
     let se = (sea + seb).sqrt();
     if se == 0.0 {
-        // Identical constants on both sides: no evidence of difference.
-        return Ok(finalize(0.0, na + nb - 2.0, ma, mb, 0.0));
+        // Both sides are constants. Equal constants carry no evidence of
+        // a difference; distinct constants are a zero-noise separation
+        // (infinitely strong evidence), matching `paired_t_test`.
+        return Ok(degenerate_constant(ma, mb, na + nb - 2.0));
     }
     // Welch–Satterthwaite degrees of freedom.
     let dof = (sea + seb) * (sea + seb) / (sea * sea / (na - 1.0) + seb * seb / (nb - 1.0));
@@ -125,7 +146,7 @@ pub fn two_sample_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     let pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / dof;
     let se = (pooled * (1.0 / na + 1.0 / nb)).sqrt();
     if se == 0.0 {
-        return Ok(finalize(0.0, dof, ma, mb, 0.0));
+        return Ok(degenerate_constant(ma, mb, dof));
     }
     Ok(finalize((ma - mb) / se, dof, ma, mb, se))
 }
@@ -160,9 +181,14 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     let (ma, mb) = (mean(a).expect("non-empty"), mean(b).expect("non-empty"));
     if se == 0.0 {
         // All differences identical: either exactly zero (no evidence)
-        // or a perfectly constant shift (infinitely strong evidence).
+        // or a perfectly constant shift (infinitely strong evidence,
+        // signed by the direction of the shift).
         return Ok(TTestResult {
-            statistic: if md == 0.0 { 0.0 } else { f64::INFINITY },
+            statistic: if md == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY.copysign(md)
+            },
             dof,
             p_value: if md == 0.0 { 1.0 } else { 0.0 },
             mean_a: ma,
@@ -307,6 +333,27 @@ mod tests {
         let r = two_sample_t_test(&a, &b).unwrap();
         assert_eq!(r.statistic, 0.0);
         assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn distinct_constants_are_infinitely_significant() {
+        // Zero variance with different means is a perfect separation,
+        // not "no evidence": t must be signed infinity and p zero.
+        let lo = [1.0, 1.0, 1.0];
+        let hi = [2.0, 2.0, 2.0];
+        for r in [
+            two_sample_t_test(&lo, &hi).unwrap(),
+            welch_t_test(&lo, &hi).unwrap(),
+        ] {
+            assert_eq!(r.statistic, f64::NEG_INFINITY);
+            assert_eq!(r.p_value, 0.0);
+            assert!(r.significant_at(0.05));
+        }
+        let r = welch_t_test(&hi, &lo).unwrap();
+        assert_eq!(r.statistic, f64::INFINITY);
+        let p = paired_t_test(&lo, &hi).unwrap();
+        assert_eq!(p.statistic, f64::NEG_INFINITY);
+        assert_eq!(p.p_value, 0.0);
     }
 
     #[test]

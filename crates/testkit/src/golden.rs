@@ -1,0 +1,101 @@
+//! Golden-snapshot framework for the E2–E7 `results/` artifacts.
+//!
+//! Every experiment binary renders its artifact through a pure
+//! `spec_bench::artifacts` function; the checked-in files under
+//! `results/` are the golden copies. [`check_or_bless`] compares a
+//! freshly-rendered artifact **byte for byte** against its golden file,
+//! so any drift in the experiment pipeline — numeric, formatting, or
+//! structural — fails CI with a readable first-difference report.
+//!
+//! To intentionally update the goldens after a reviewed behavior
+//! change, run the snapshot suite with `TESTKIT_BLESS=1`:
+//!
+//! ```text
+//! TESTKIT_BLESS=1 cargo test -p testkit --test golden_snapshots
+//! ```
+//!
+//! which rewrites the files in place (the diff then shows up in review
+//! like any other change).
+
+use std::path::PathBuf;
+
+/// True when `TESTKIT_BLESS=1` requests golden regeneration.
+pub fn blessing() -> bool {
+    std::env::var("TESTKIT_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// The repository's `results/` directory, resolved relative to this
+/// crate so tests work from any working directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results")
+}
+
+/// Compares `rendered` byte-for-byte against `results/<name>`, or
+/// rewrites the golden when [`blessing`]. Returns a first-difference
+/// description on mismatch.
+///
+/// # Errors
+///
+/// Returns a human-readable description when the golden file is
+/// missing, unreadable, or differs from `rendered`.
+pub fn check_or_bless(name: &str, rendered: &str) -> Result<(), String> {
+    let path = results_dir().join(name);
+    if blessing() {
+        std::fs::write(&path, rendered)
+            .map_err(|e| format!("cannot bless {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let golden = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read golden {}: {e} (run with TESTKIT_BLESS=1 to create it)",
+            path.display()
+        )
+    })?;
+    if golden == rendered {
+        return Ok(());
+    }
+    Err(first_difference(name, &golden, rendered))
+}
+
+/// Builds a readable report of the first differing line between the
+/// golden and rendered artifact.
+fn first_difference(name: &str, golden: &str, rendered: &str) -> String {
+    let g_lines: Vec<&str> = golden.lines().collect();
+    let r_lines: Vec<&str> = rendered.lines().collect();
+    for (i, (g, r)) in g_lines.iter().zip(&r_lines).enumerate() {
+        if g != r {
+            return format!(
+                "{name}: line {} differs\n  golden:   {g:?}\n  rendered: {r:?}\n\
+                 (TESTKIT_BLESS=1 regenerates the golden if this change is intended)",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "{name}: line counts differ (golden {} vs rendered {}); \
+         common prefix matches (TESTKIT_BLESS=1 regenerates the golden if this change is intended)",
+        g_lines.len(),
+        r_lines.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_in_repo() {
+        assert!(results_dir().is_dir(), "{:?} missing", results_dir());
+    }
+
+    #[test]
+    fn first_difference_pinpoints_line() {
+        let report = first_difference("x.txt", "a\nb\nc\n", "a\nB\nc\n");
+        assert!(report.contains("line 2"), "{report}");
+        let report = first_difference("x.txt", "a\n", "a\nb\n");
+        assert!(report.contains("line counts differ"), "{report}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden-snapshot enforcement for the E2–E7 `results/` artifacts.
+//!
+//! Each test renders its experiment through the same pure
+//! `spec_bench::artifacts` function the regeneration binary uses and
+//! compares the result **byte for byte** against the checked-in golden
+//! file, so the shape claims in EXPERIMENTS.md (leaf counts, headline
+//! equations, table percentages, transferability metrics) are enforced
+//! in CI rather than merely documented.
+//!
+//! After a reviewed behavior change, regenerate the goldens with:
+//!
+//! ```text
+//! TESTKIT_BLESS=1 cargo test -p testkit --test golden_snapshots
+//! ```
+//!
+//! The canonical 60k-sample suite datasets and their fitted trees are
+//! shared across tests through `OnceLock` so the whole file costs two
+//! dataset generations and two tree fits.
+
+use std::sync::OnceLock;
+
+use modeltree::ModelTree;
+use perfcounters::Dataset;
+use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree, omp2001_dataset};
+use testkit::golden::check_or_bless;
+
+fn cpu() -> &'static (Dataset, ModelTree) {
+    static CPU: OnceLock<(Dataset, ModelTree)> = OnceLock::new();
+    CPU.get_or_init(|| {
+        let data = cpu2006_dataset();
+        let tree = fit_suite_tree(&data);
+        (data, tree)
+    })
+}
+
+fn omp() -> &'static (Dataset, ModelTree) {
+    static OMP: OnceLock<(Dataset, ModelTree)> = OnceLock::new();
+    OMP.get_or_init(|| {
+        let data = omp2001_dataset();
+        let tree = fit_suite_tree(&data);
+        (data, tree)
+    })
+}
+
+fn enforce(name: &str, rendered: &str) {
+    if let Err(report) = check_or_bless(name, rendered) {
+        panic!("{report}");
+    }
+}
+
+#[test]
+fn figure1_text_and_dot_match_goldens() {
+    let (data, tree) = cpu();
+    let art = artifacts::figure1(data, tree);
+    enforce("figure1.txt", &art.text);
+    enforce("figure1.dot", &art.dot);
+}
+
+#[test]
+fn figure2_text_and_dot_match_goldens() {
+    let (data, tree) = omp();
+    let art = artifacts::figure2(data, tree);
+    enforce("figure2.txt", &art.text);
+    enforce("figure2.dot", &art.dot);
+}
+
+#[test]
+fn table2_matches_golden() {
+    let (data, tree) = cpu();
+    enforce("table2.txt", &artifacts::table2(data, tree));
+}
+
+#[test]
+fn table3_matches_golden() {
+    let (data, tree) = cpu();
+    enforce("table3.txt", &artifacts::table3(data, tree));
+}
+
+#[test]
+fn table4_matches_golden() {
+    let (data, tree) = omp();
+    enforce("table4.txt", &artifacts::table4(data, tree));
+}
+
+#[test]
+fn transferability_matches_golden() {
+    let (cpu_data, _) = cpu();
+    let (omp_data, _) = omp();
+    enforce(
+        "transferability.txt",
+        &artifacts::transferability(cpu_data, omp_data),
+    );
+}

@@ -1,0 +1,206 @@
+//! Statistical oracles: `spec-stats` against independent high-precision
+//! references.
+//!
+//! * t-test p-values (pooled and paired, which have integer degrees of
+//!   freedom) against the Abramowitz & Stegun closed-form Student-t CDF
+//!   — agreement to `1e-10`;
+//! * Mann–Whitney p-values against exact enumeration of the U null
+//!   distribution over all group assignments of the pooled sample —
+//!   the normal approximation (with continuity correction) must track
+//!   the exact tail probability closely at the sample sizes the
+//!   workspace uses;
+//! * bootstrap percentile CIs against exact enumeration of all `n^n`
+//!   resamples for small `n` — the sampled bounds must be atoms of the
+//!   exact distribution whose exact CDF brackets the nominal quantiles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spec_stats::bootstrap::{bootstrap_ci, mae_ci};
+use spec_stats::nonparametric::mann_whitney_u;
+use spec_stats::ttest::{paired_t_test, two_sample_t_test};
+use testkit::full_depth;
+use testkit::statref::{
+    atom_cdf, bootstrap_exact_distribution, mann_whitney_exact, student_t_two_sided_p,
+};
+
+fn n_trials() -> usize {
+    if full_depth() {
+        600
+    } else {
+        150
+    }
+}
+
+fn draw_sample(rng: &mut StdRng, n: usize, spread: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| 1.0 + spread * (rng.gen::<f64>() - 0.5) + rng.gen::<f64>() * 0.2)
+        .collect()
+}
+
+#[test]
+fn pooled_t_p_values_match_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x7001);
+    for trial in 0..n_trials() {
+        let na = 2 + rng.gen_range(0usize..12);
+        let nb = 2 + rng.gen_range(0usize..12);
+        let shift = 0.5 * (rng.gen::<f64>() - 0.5);
+        let a = draw_sample(&mut rng, na, 1.0);
+        let b: Vec<f64> = draw_sample(&mut rng, nb, 0.8)
+            .into_iter()
+            .map(|x| x + shift)
+            .collect();
+        let r = two_sample_t_test(&a, &b).unwrap();
+        let dof = (na + nb - 2) as u32;
+        let want = student_t_two_sided_p(r.statistic, dof);
+        assert!(
+            (r.p_value - want).abs() < 1e-10,
+            "trial {trial}: pooled t p={} vs closed form {want} (t={}, dof={dof})",
+            r.p_value,
+            r.statistic
+        );
+    }
+}
+
+#[test]
+fn paired_t_p_values_match_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x7002);
+    for trial in 0..n_trials() {
+        let n = 2 + rng.gen_range(0usize..15);
+        let a = draw_sample(&mut rng, n, 1.0);
+        let b: Vec<f64> = a
+            .iter()
+            .map(|x| x + 0.3 * (rng.gen::<f64>() - 0.45))
+            .collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        if !r.statistic.is_finite() {
+            continue; // zero-variance differences: p is exactly 0/1 by policy
+        }
+        let want = student_t_two_sided_p(r.statistic, (n - 1) as u32);
+        assert!(
+            (r.p_value - want).abs() < 1e-10,
+            "trial {trial}: paired t p={} vs closed form {want} (t={}, n={n})",
+            r.p_value,
+            r.statistic
+        );
+    }
+}
+
+#[test]
+fn mann_whitney_normal_approximation_tracks_exact_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0x7003);
+    let mut worst: f64 = 0.0;
+    for trial in 0..n_trials() {
+        let na = 4 + rng.gen_range(0usize..4);
+        let nb = 4 + rng.gen_range(0usize..4);
+        let tied_grid = rng.gen_bool(0.4);
+        let shift = rng.gen_range(0.0..1.5);
+        let draw = |rng: &mut StdRng, n: usize, shift: f64| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    let x = rng.gen::<f64>() * 2.0 + shift;
+                    if tied_grid {
+                        (x * 4.0).round() / 4.0 // coarse grid: many ties
+                    } else {
+                        x
+                    }
+                })
+                .collect()
+        };
+        let a = draw(&mut rng, na, 0.0);
+        let b = draw(&mut rng, nb, shift);
+        let approx = mann_whitney_u(&a, &b).unwrap();
+        let exact = mann_whitney_exact(&a, &b);
+        let err = (approx.p_value - exact.p_two_sided).abs();
+        worst = worst.max(err);
+        // The normal approximation is weakest when heavy ties coarsen
+        // the already-small exact null support (C(8,4) = 70 assignments
+        // at 4 vs 4): absolute error approaches 0.07 there, while
+        // tie-free pulls stay well under 0.06.
+        let cap = if tied_grid { 0.09 } else { 0.06 };
+        assert!(
+            err < cap,
+            "trial {trial}: MW approx p={} vs exact {} (na={na}, nb={nb}, ties={tied_grid})",
+            approx.p_value,
+            exact.p_two_sided
+        );
+        // Directional consistency: the z statistic and the exact U
+        // deviation must point the same way.
+        let mu = (na * nb) as f64 / 2.0;
+        if exact.u != mu && approx.statistic != 0.0 {
+            assert_eq!(
+                approx.statistic.signum(),
+                (exact.u - mu).signum(),
+                "trial {trial}: z sign disagrees with exact U deviation"
+            );
+        }
+    }
+    // The approximation should usually be far better than the hard cap.
+    assert!(worst > 0.0, "exact and approx never differed — suspicious");
+}
+
+/// Checks a sampled percentile bound against the exact atom
+/// distribution: the bound must be (numerically) an atom, and the exact
+/// probability mass strictly below / at-or-below it must bracket the
+/// nominal quantile.
+fn assert_valid_quantile(atoms: &[f64], bound: f64, q: f64, margin: f64, what: &str) {
+    let is_atom = atoms.iter().any(|&a| (a - bound).abs() <= 1e-12);
+    assert!(
+        is_atom,
+        "{what}: bound {bound} is not an atom of the exact distribution"
+    );
+    let below = atoms.iter().filter(|&&a| a < bound - 1e-12).count() as f64 / atoms.len() as f64;
+    let at_or_below = atom_cdf(atoms, bound + 1e-12);
+    assert!(
+        below <= q + margin,
+        "{what}: P(X < bound) = {below} overshoots quantile {q}"
+    );
+    assert!(
+        at_or_below >= q - margin,
+        "{what}: P(X <= bound) = {at_or_below} undershoots quantile {q}"
+    );
+}
+
+#[test]
+fn bootstrap_percentile_ci_matches_exact_enumeration() {
+    // n = 4 pairs: 256 equally-likely resamples, exactly enumerable.
+    let predicted = [1.0, 2.0, 3.0, 4.0];
+    let actual = [1.2, 1.8, 3.5, 3.9];
+    let n_resamples = if full_depth() { 200_000 } else { 40_000 };
+    let margin = 0.03;
+
+    // Mean absolute error.
+    let mae = |p: &[f64], a: &[f64]| -> f64 {
+        p.iter().zip(a).map(|(x, y)| (x - y).abs()).sum::<f64>() / p.len() as f64
+    };
+    let atoms = bootstrap_exact_distribution(&predicted, &actual, mae);
+    let ci = mae_ci(&predicted, &actual, n_resamples, 0.95, 424_242).unwrap();
+    assert!((ci.point - mae(&predicted, &actual)).abs() < 1e-12);
+    assert_valid_quantile(&atoms, ci.lower, 0.025, margin, "mae lower");
+    assert_valid_quantile(&atoms, ci.upper, 0.975, margin, "mae upper");
+    assert!(ci.lower <= ci.upper);
+
+    // A second statistic through the generic entry point: mean error.
+    let mean_err = |p: &[f64], a: &[f64]| -> f64 {
+        p.iter().zip(a).map(|(x, y)| x - y).sum::<f64>() / p.len() as f64
+    };
+    let atoms = bootstrap_exact_distribution(&predicted, &actual, mean_err);
+    let ci = bootstrap_ci(&predicted, &actual, mean_err, n_resamples, 0.90, 99).unwrap();
+    assert_valid_quantile(&atoms, ci.lower, 0.05, margin, "mean-err lower");
+    assert_valid_quantile(&atoms, ci.upper, 0.95, margin, "mean-err upper");
+}
+
+#[test]
+fn bootstrap_ci_narrows_with_confidence() {
+    // Percentile CIs must be nested: 80% inside 95% inside 99%.
+    let predicted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    let actual = [1.3, 1.6, 3.4, 4.4, 4.8, 6.5];
+    let mut widths = Vec::new();
+    for conf in [0.80, 0.95, 0.99] {
+        let ci = mae_ci(&predicted, &actual, 20_000, conf, 7).unwrap();
+        widths.push(ci.width());
+    }
+    assert!(
+        widths[0] <= widths[1] && widths[1] <= widths[2],
+        "{widths:?}"
+    );
+}

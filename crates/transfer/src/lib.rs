@@ -74,12 +74,52 @@ impl Default for TransferConfig {
 pub enum TransferError {
     /// A statistical routine failed (usually: a dataset too small).
     Stats(StatsError),
+    /// The two datasets disagree on which event columns were actually
+    /// collected: an event the assessment depends on (used by the model
+    /// or listed in [`TransferConfig::tested_events`]) has measurements
+    /// in one dataset but is identically zero in the other. Comparing a
+    /// collected column against an uncollected one would produce a
+    /// meaningless verdict, so the mismatch is reported instead.
+    SchemaMismatch {
+        /// Events collected in the test dataset but absent from train.
+        missing_in_train: Vec<EventId>,
+        /// Events collected in the train dataset but absent from test.
+        missing_in_test: Vec<EventId>,
+    },
 }
 
 impl std::fmt::Display for TransferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransferError::Stats(e) => write!(f, "statistics error: {e}"),
+            TransferError::SchemaMismatch {
+                missing_in_train,
+                missing_in_test,
+            } => {
+                let list = |events: &[EventId]| {
+                    events
+                        .iter()
+                        .map(|e| e.short_name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                write!(f, "event schema mismatch between datasets:")?;
+                if !missing_in_train.is_empty() {
+                    write!(
+                        f,
+                        " [{}] collected only in the test dataset",
+                        list(missing_in_train)
+                    )?;
+                }
+                if !missing_in_test.is_empty() {
+                    write!(
+                        f,
+                        " [{}] collected only in the train dataset",
+                        list(missing_in_test)
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -88,6 +128,7 @@ impl std::error::Error for TransferError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransferError::Stats(e) => Some(e),
+            TransferError::SchemaMismatch { .. } => None,
         }
     }
 }
@@ -100,6 +141,44 @@ impl From<StatsError> for TransferError {
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, TransferError>;
+
+/// An event counts as *collected* in a dataset if any sample carries a
+/// nonzero value for it: the generators emit continuous positive
+/// densities for every architected counter, while an uncollected column
+/// is identically zero (as after schema-lossy ingestion).
+fn event_collected(data: &Dataset, event: EventId) -> bool {
+    data.event_column(event).iter().any(|&v| v != 0.0)
+}
+
+/// Verifies that every event the assessment reads — the model's split
+/// and regression attributes plus [`TransferConfig::tested_events`] —
+/// is collected in both datasets or in neither.
+fn check_event_schema(
+    model: &ModelTree,
+    train: &Dataset,
+    test: &Dataset,
+    config: &TransferConfig,
+) -> Result<()> {
+    let mut relevant = model.used_events();
+    relevant.extend(config.tested_events.iter().copied());
+    let mut missing_in_train = Vec::new();
+    let mut missing_in_test = Vec::new();
+    for e in relevant {
+        match (event_collected(train, e), event_collected(test, e)) {
+            (false, true) => missing_in_train.push(e),
+            (true, false) => missing_in_test.push(e),
+            _ => {}
+        }
+    }
+    if missing_in_train.is_empty() && missing_in_test.is_empty() {
+        Ok(())
+    } else {
+        Err(TransferError::SchemaMismatch {
+            missing_in_train,
+            missing_in_test,
+        })
+    }
+}
 
 /// The hypothesis-testing half of an assessment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,8 +223,11 @@ impl TransferabilityReport {
     ///
     /// # Errors
     ///
-    /// Returns [`TransferError::Stats`] if either dataset is too small
-    /// for the tests (fewer than 2 samples).
+    /// * [`TransferError::Stats`] if either dataset is too small for the
+    ///   tests (fewer than 2 samples).
+    /// * [`TransferError::SchemaMismatch`] if an event the assessment
+    ///   depends on is collected (has any nonzero measurement) in one
+    ///   dataset but not the other.
     pub fn assess(
         model: &ModelTree,
         train: &Dataset,
@@ -154,6 +236,12 @@ impl TransferabilityReport {
         test_name: &str,
         config: &TransferConfig,
     ) -> Result<TransferabilityReport> {
+        // Size problems report as `Stats` errors (from the first t-test
+        // below); the schema comparison only applies to datasets large
+        // enough to assess at all.
+        if train.len() >= 2 && test.len() >= 2 {
+            check_event_schema(model, train, test, config)?;
+        }
         let train_cpi = train.cpis();
         let test_cpi = test.cpis();
         let predicted = model.compile().predict_batch(test);
@@ -536,6 +624,90 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[0].n_train <= w[1].n_train);
         }
+    }
+
+    /// A hand-built 30-sample dataset: `dtlb` and `simd` supply those
+    /// two columns, `Load` always carries signal, and CPI tracks it.
+    fn synthetic(dtlb: impl Fn(usize) -> f64, simd: impl Fn(usize) -> f64) -> Dataset {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("synth");
+        for i in 0..30 {
+            let x = i as f64 / 30.0;
+            let mut s = perfcounters::Sample::zeros(0.5 + 2.0 * x + 0.01 * (i % 3) as f64);
+            s.set(EventId::Load, 0.1 + 0.4 * x);
+            s.set(EventId::DtlbMiss, dtlb(i));
+            s.set(EventId::Simd, simd(i));
+            ds.push(s, b);
+        }
+        ds
+    }
+
+    #[test]
+    fn schema_mismatch_event_missing_in_test() {
+        let train = synthetic(|i| 1e-4 * (1 + i % 5) as f64, |_| 0.0);
+        let test = synthetic(|_| 0.0, |_| 0.0); // DtlbMiss uncollected
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let err = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &test,
+            "a",
+            "b",
+            &TransferConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            TransferError::SchemaMismatch {
+                missing_in_train,
+                missing_in_test,
+            } => {
+                assert!(missing_in_train.is_empty());
+                assert_eq!(missing_in_test, vec![EventId::DtlbMiss]);
+            }
+            other => panic!("expected SchemaMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_extra_event_in_test() {
+        let train = synthetic(|i| 1e-4 * (1 + i % 5) as f64, |_| 0.0);
+        let test = synthetic(|i| 1e-4 * (1 + i % 5) as f64, |i| 1e-3 * (1 + i % 4) as f64);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let err = TransferabilityReport::assess(
+            &tree,
+            &train,
+            &test,
+            "a",
+            "b",
+            &TransferConfig::default(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("schema mismatch"), "{msg}");
+        assert!(msg.contains("SIMD"), "{msg}");
+        assert!(msg.contains("only in the test dataset"), "{msg}");
+        match err {
+            TransferError::SchemaMismatch {
+                missing_in_train, ..
+            } => assert_eq!(missing_in_train, vec![EventId::Simd]),
+            other => panic!("expected SchemaMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn irrelevant_schema_differences_are_ignored() {
+        // `Simd` presence differs, but the model never touches it and it
+        // is not a tested event — the assessment must still run.
+        let train = synthetic(|i| 1e-4 * (1 + i % 5) as f64, |_| 0.0);
+        let test = synthetic(|i| 1e-4 * (1 + i % 5) as f64, |i| 1e-3 * (1 + i % 4) as f64);
+        let tree = ModelTree::fit(&train, &M5Config::default()).unwrap();
+        let config = TransferConfig {
+            tested_events: vec![EventId::Load],
+            ..Default::default()
+        };
+        let report =
+            TransferabilityReport::assess(&tree, &train, &test, "a", "b", &config).unwrap();
+        assert_eq!(report.hypothesis.event_tests.len(), 1);
     }
 
     #[test]
