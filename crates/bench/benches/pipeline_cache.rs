@@ -1,0 +1,71 @@
+//! Criterion bench: cold vs warm pipeline resolution.
+//!
+//! "Cold" pays the full stage cost (dataset generation + M5' fit);
+//! "warm" replays the same artifacts out of a pre-populated
+//! content-addressed store (decode + integrity check only). The gap
+//! between the two is the pipeline's entire value proposition, so it
+//! gets its own benchmark group. Sizes are kept small enough that
+//! `cargo bench -- --test` stays a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline::{ArtifactStore, DatasetSpec, PipelineContext, SuiteKind, TreeSpec};
+
+fn temp_store() -> ArtifactStore {
+    let dir = std::env::temp_dir().join(format!("specrepro-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactStore::open(dir)
+}
+
+fn bench_pipeline_cache(c: &mut Criterion) {
+    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 2_000, 17);
+    let tree_spec = TreeSpec::suite_tree(spec.clone());
+
+    let mut group = c.benchmark_group("pipeline_cache");
+    group.sample_size(10);
+
+    // Cold: a storeless context recomputes everything, every iteration
+    // (a fresh context per iteration defeats the in-memory memo).
+    group.bench_function("cold_dataset_and_tree", |b| {
+        b.iter(|| {
+            let ctx = PipelineContext::ephemeral().with_logging(false);
+            let data = ctx.dataset(&spec).expect("generates");
+            let tree = ctx.tree(&tree_spec).expect("fits");
+            (data.len(), tree.n_leaves())
+        })
+    });
+
+    // Warm: resolve the same specs out of a pre-populated store.
+    let store = temp_store();
+    {
+        let seed_ctx = PipelineContext::with_store(store.clone()).with_logging(false);
+        seed_ctx.dataset(&spec).expect("seeds the store");
+        seed_ctx.tree(&tree_spec).expect("seeds the store");
+    }
+    group.bench_function("warm_dataset_and_tree", |b| {
+        b.iter(|| {
+            let ctx = PipelineContext::with_store(store.clone()).with_logging(false);
+            let data = ctx.dataset(&spec).expect("loads");
+            let tree = ctx.tree(&tree_spec).expect("loads");
+            let counters = ctx.counters();
+            assert_eq!(counters.datasets_generated, 0);
+            assert_eq!(counters.trees_fitted, 0);
+            (data.len(), tree.n_leaves())
+        })
+    });
+
+    // Warm tree only: the zero-work path never touches training data.
+    group.bench_function("warm_tree_only", |b| {
+        b.iter(|| {
+            let ctx = PipelineContext::with_store(store.clone()).with_logging(false);
+            let tree = ctx.tree(&tree_spec).expect("loads");
+            assert_eq!(ctx.counters().datasets_loaded, 0);
+            tree.n_leaves()
+        })
+    });
+
+    group.finish();
+    let _ = store.clear();
+}
+
+criterion_group!(benches, bench_pipeline_cache);
+criterion_main!(benches);

@@ -12,11 +12,10 @@ use std::fmt::Write;
 use characterize::{ProfileTable, SimilarityMatrix};
 use modeltree::{display, ModelTree};
 use perfcounters::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pipeline::TransferSplit;
 use transfer::{TransferConfig, TransferabilityReport};
 
-use crate::{suite_tree_config, SEED_SPLIT};
+use crate::SEED_SPLIT;
 
 /// A rendered figure: the stdout report plus the Graphviz source.
 pub struct FigureArtifact {
@@ -152,16 +151,23 @@ pub fn table3(data: &Dataset, tree: &ModelTree) -> String {
 
 /// Experiments E7–E9 — Section VI: t-tests and prediction-accuracy
 /// metrics for all four transfer directions, with bootstrap CIs.
-pub fn transferability(cpu: &Dataset, omp: &Dataset) -> String {
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-    // The paper trains on a random 10% of each suite. The split order
-    // (CPU first, OMP second, one RNG stream) is part of the artifact.
-    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
-    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
-
-    let m5 = suite_tree_config(cpu_train.len());
-    let cpu_tree = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
-    let omp_tree = ModelTree::fit(&omp_train, &m5).expect("omp fit");
+///
+/// The split (the paper trains on a random 10% of each suite; CPU
+/// first, OMP second, one RNG stream — the order is part of the
+/// artifact) and both trees are resolved by the caller through the
+/// pipeline, so warm artifact stores rerun this experiment without any
+/// generation or fitting. See `spec_bench::transfer_artifacts`.
+pub fn transferability(
+    split: &TransferSplit,
+    cpu_tree: &ModelTree,
+    omp_tree: &ModelTree,
+) -> String {
+    let TransferSplit {
+        cpu_train,
+        cpu_rest,
+        omp_train,
+        omp_rest,
+    } = split;
     let config = TransferConfig::default();
 
     let mut text = String::new();
@@ -190,21 +196,33 @@ pub fn transferability(cpu: &Dataset, omp: &Dataset) -> String {
 
     let cases = [
         (
-            &cpu_tree,
-            &cpu_train,
-            &cpu_rest,
+            cpu_tree,
+            &**cpu_train,
+            &**cpu_rest,
             "CPU2006 (10%)",
             "CPU2006 (rest)",
         ),
-        (&cpu_tree, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
         (
-            &omp_tree,
-            &omp_train,
-            &omp_rest,
+            cpu_tree,
+            &**cpu_train,
+            &**omp_rest,
+            "CPU2006 (10%)",
+            "OMP2001",
+        ),
+        (
+            omp_tree,
+            &**omp_train,
+            &**omp_rest,
             "OMP2001 (10%)",
             "OMP2001 (rest)",
         ),
-        (&omp_tree, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
+        (
+            omp_tree,
+            &**omp_train,
+            &**cpu_rest,
+            "OMP2001 (10%)",
+            "CPU2006",
+        ),
     ];
     for (tree, train, test, a, b) in cases {
         let report = TransferabilityReport::assess(tree, train, test, a, b, &config)

@@ -5,17 +5,25 @@
 //! * multiplexed vs oracle counters (does PMU multiplexing noise matter?);
 //! * training-fraction sweep backing the paper's "a model trained using
 //!   only 10% of the data is transferable to the remaining data".
+//!
+//! Datasets and suite trees resolve through the pipeline's artifact
+//! store; the k-fold CV internals and the stream-continuation splits of
+//! ablation 3 are inherently uncacheable and stay direct.
+
+use std::io::Write;
 
 use modeltree::{k_fold, M5Config, ModelTree};
+use pipeline::{output, DatasetSpec, PipelineContext, SuiteKind, TreeSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spec_bench::{cpu2006_dataset, suite_tree_config, SEED_CPU2006, SEED_SPLIT};
+use spec_bench::{suite_tree_config, SEED_CPU2006, SEED_SPLIT};
 use spec_stats::PredictionMetrics;
-use workloads::generator::{GeneratorConfig, Suite};
+use workloads::generator::GeneratorConfig;
 
-fn cv_row(name: &str, data: &perfcounters::Dataset, config: &M5Config) {
+fn cv_row(out: &mut impl Write, name: &str, data: &perfcounters::Dataset, config: &M5Config) {
     let cv = k_fold(data, config, 5, SEED_SPLIT).expect("cv");
-    println!(
+    let _ = writeln!(
+        out,
         "  {name:<28} MAE {:.4}  RMSE {:.4}  C {:.4}  leaves {:.1}",
         cv.mean_mae(),
         cv.mean_rmse(),
@@ -25,36 +33,53 @@ fn cv_row(name: &str, data: &perfcounters::Dataset, config: &M5Config) {
 }
 
 fn main() {
+    let ctx = PipelineContext::from_env();
+    let out = &mut output::stdout();
+
     // A 20k subset keeps 5-fold CV fast while staying representative.
-    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
-    let data = Suite::cpu2006().generate(&mut rng, 20_000, &GeneratorConfig::default());
+    let spec_20k = DatasetSpec::new(SuiteKind::Cpu2006, 20_000, SEED_CPU2006);
+    let data = ctx.dataset(&spec_20k).expect("suite generates");
     let base = suite_tree_config(data.len());
 
-    println!("Ablation 1: M5' design choices (5-fold CV on 20k CPU2006 samples)");
-    cv_row("full M5' (default)", &data, &base);
-    cv_row("no smoothing", &data, &base.with_smoothing(false));
-    cv_row("no pruning", &data, &base.with_prune(false));
+    let _ = writeln!(
+        out,
+        "Ablation 1: M5' design choices (5-fold CV on 20k CPU2006 samples)"
+    );
+    cv_row(out, "full M5' (default)", &data, &base);
+    cv_row(out, "no smoothing", &data, &base.with_smoothing(false));
+    cv_row(out, "no pruning", &data, &base.with_prune(false));
     cv_row(
+        out,
         "no attribute elimination",
         &data,
         &base.with_attribute_elimination(false),
     );
 
-    println!("\nAblation 2: counter multiplexing noise");
+    let _ = writeln!(out, "\nAblation 2: counter multiplexing noise");
     let mut oracle_cfg = GeneratorConfig::default();
     oracle_cfg.counters.multiplexing_noise = false;
-    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
-    let oracle = Suite::cpu2006().generate(&mut rng, 20_000, &oracle_cfg);
-    cv_row("multiplexed counters", &data, &base);
-    cv_row("oracle counters", &oracle, &base);
+    let oracle_spec = spec_20k.clone().with_config(oracle_cfg);
+    let oracle = ctx.dataset(&oracle_spec).expect("suite generates");
+    cv_row(out, "multiplexed counters", &data, &base);
+    cv_row(out, "oracle counters", &oracle, &base);
     // Cross-substrate: train on oracle data, test on multiplexed data.
-    let tree = ModelTree::fit(&oracle, &base).expect("fit");
+    let tree = ctx
+        .tree(&TreeSpec::new(oracle_spec, base))
+        .expect("oracle dataset fits");
     let m = PredictionMetrics::from_predictions(&tree.predict_all(&data), &data.cpis())
         .expect("metrics");
-    println!("  oracle-trained on multiplexed test: {m}");
+    let _ = writeln!(out, "  oracle-trained on multiplexed test: {m}");
 
-    println!("\nAblation 3: training fraction (test = held-out remainder of 60k)");
-    let full = cpu2006_dataset();
+    let _ = writeln!(
+        out,
+        "\nAblation 3: training fraction (test = held-out remainder of 60k)"
+    );
+    let full = ctx
+        .dataset(&DatasetSpec::cpu2006())
+        .expect("suite generates");
+    // The sweep reuses one RNG stream across fractions (each split
+    // continues the previous one's stream state), so the intermediate
+    // training sets are not independently addressable cache artifacts.
     let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
     let (pool, test) = full.split_random(&mut rng, 0.5);
     for fraction in [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00] {
@@ -63,7 +88,8 @@ fn main() {
         let tree = ModelTree::fit(&train, &config).expect("fit");
         let m = PredictionMetrics::from_predictions(&tree.predict_all(&test), &test.cpis())
             .expect("metrics");
-        println!(
+        let _ = writeln!(
+            out,
             "  train {:>6} samples ({:>5.1}% of suite): C {:.4}  MAE {:.4}  leaves {}",
             train.len(),
             100.0 * fraction * 0.5,
@@ -72,22 +98,34 @@ fn main() {
             tree.n_leaves()
         );
     }
-    println!("\n(the paper's claim: 10% of the data already yields a transferable model)");
+    let _ = writeln!(
+        out,
+        "\n(the paper's claim: 10% of the data already yields a transferable model)"
+    );
 
-    println!("\nAblation 4: platform drift (multi-threaded contention sweep)");
-    println!("  train OMP2001 model at contention 1.0; test on other contention levels");
-    let mut rng = StdRng::seed_from_u64(SEED_CPU2006 + 1);
-    let omp_base = Suite::omp2001().generate(&mut rng, 20_000, &GeneratorConfig::default());
-    let omp_tree = ModelTree::fit(&omp_base, &suite_tree_config(omp_base.len())).expect("fit");
+    let _ = writeln!(
+        out,
+        "\nAblation 4: platform drift (multi-threaded contention sweep)"
+    );
+    let _ = writeln!(
+        out,
+        "  train OMP2001 model at contention 1.0; test on other contention levels"
+    );
+    let omp_spec = DatasetSpec::new(SuiteKind::Omp2001, 20_000, SEED_CPU2006 + 1);
+    let omp_tree = ctx
+        .tree(&TreeSpec::suite_tree(omp_spec))
+        .expect("omp dataset fits");
     for contention in [0.5, 0.75, 1.0, 1.5, 2.0] {
         let mut cfg = GeneratorConfig::default();
         cfg.cost = cfg.cost.with_contention(contention);
-        let mut rng = StdRng::seed_from_u64(SEED_CPU2006 + 2);
-        let shifted = Suite::omp2001().generate(&mut rng, 10_000, &cfg);
+        let shifted_spec =
+            DatasetSpec::new(SuiteKind::Omp2001, 10_000, SEED_CPU2006 + 2).with_config(cfg);
+        let shifted = ctx.dataset(&shifted_spec).expect("suite generates");
         let m =
             PredictionMetrics::from_predictions(&omp_tree.predict_all(&shifted), &shifted.cpis())
                 .expect("metrics");
-        println!(
+        let _ = writeln!(
+            out,
             "  contention {contention:>4.2}: C {:.4}  MAE {:.4}{}",
             m.correlation,
             m.mae,
@@ -98,6 +136,12 @@ fn main() {
             }
         );
     }
-    println!("(the paper: \"the results are specific to the architecture, platform, and");
-    println!(" compiler used\" — this quantifies how fast a model decays off-platform)");
+    let _ = writeln!(
+        out,
+        "(the paper: \"the results are specific to the architecture, platform, and"
+    );
+    let _ = writeln!(
+        out,
+        " compiler used\" — this quantifies how fast a model decays off-platform)"
+    );
 }

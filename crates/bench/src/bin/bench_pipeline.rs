@@ -1,0 +1,95 @@
+//! Warm-vs-cold pipeline resolution snapshot.
+//!
+//! Resolves the canonical CPU2006 artifacts (60k-sample dataset + suite
+//! tree) twice against a fresh private store: the cold pass pays
+//! generation, fitting, and encoding; the warm pass replays the same
+//! artifacts from disk. Stage counters prove the warm pass did zero
+//! dataset generation and zero tree fitting — the ISSUE 4 acceptance
+//! criterion — and the timings plus counters are written as JSON.
+//!
+//! `cargo run --release -p spec-bench --bin bench_pipeline [output.json]`
+//! (default output: `results/BENCH_pipeline.json`).
+
+use std::time::Instant;
+
+use pipeline::{ArtifactStore, PipelineContext, StageCounters};
+use serde_json::json;
+use spec_bench::{cpu2006_artifacts, N_SAMPLES, SEED_CPU2006};
+
+fn counters_json(c: &StageCounters) -> serde_json::Value {
+    json!({
+        "datasets_generated": c.datasets_generated,
+        "datasets_loaded": c.datasets_loaded,
+        "splits_computed": c.splits_computed,
+        "trees_fitted": c.trees_fitted,
+        "trees_loaded": c.trees_loaded,
+        "corrupt_evicted": c.corrupt_evicted,
+    })
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_pipeline.json".into());
+
+    // A private store keeps the cold pass genuinely cold regardless of
+    // what the environment-selected cache already holds.
+    let root =
+        std::env::temp_dir().join(format!("specrepro-bench-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ArtifactStore::open(&root);
+
+    let cold_ctx = PipelineContext::with_store(store.clone()).with_logging(false);
+    let start = Instant::now();
+    let (cold_data, cold_tree) = cpu2006_artifacts(&cold_ctx);
+    let t_cold = start.elapsed().as_secs_f64();
+    let cold = cold_ctx.counters();
+    assert_eq!(cold.datasets_generated, 1, "cold pass must generate");
+    assert_eq!(cold.trees_fitted, 1, "cold pass must fit");
+
+    let warm_ctx = PipelineContext::with_store(store.clone()).with_logging(false);
+    let start = Instant::now();
+    let (warm_data, warm_tree) = cpu2006_artifacts(&warm_ctx);
+    let t_warm = start.elapsed().as_secs_f64();
+    let warm = warm_ctx.counters();
+    assert_eq!(warm.datasets_generated, 0, "warm pass regenerated data");
+    assert_eq!(warm.trees_fitted, 0, "warm pass refit the tree");
+
+    // The warm tree resolves without touching training data at all;
+    // the dataset load is for the returned artifact itself.
+    assert_eq!(warm_data.len(), cold_data.len());
+    assert_eq!(
+        serde_json::to_string(&*warm_tree).unwrap(),
+        serde_json::to_string(&*cold_tree).unwrap(),
+        "warm tree is not bit-identical to the cold fit"
+    );
+
+    let stats = store.stats();
+    let report = json!({
+        "experiment": "pipeline artifact store: warm vs cold resolution",
+        "artifacts": {
+            "suite": "cpu2006",
+            "seed": SEED_CPU2006,
+            "n_samples": N_SAMPLES,
+            "tree_leaves": cold_tree.n_leaves(),
+        },
+        "cold": { "seconds": t_cold, "counters": counters_json(&cold) },
+        "warm": { "seconds": t_warm, "counters": counters_json(&warm) },
+        "speedup_warm_vs_cold": t_cold / t_warm,
+        "store": {
+            "datasets": stats.datasets,
+            "dataset_bytes": stats.dataset_bytes,
+            "trees": stats.trees,
+            "tree_bytes": stats.tree_bytes,
+        },
+        "bit_identical": true,
+    });
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, body + "\n").expect("write snapshot");
+    let _ = store.clear();
+
+    println!("cold  {t_cold:>8.3} s  (generate + fit + encode)");
+    println!("warm  {t_warm:>8.3} s  (decode + verify)");
+    println!("speedup {:.1}x, bit-identical tree", t_cold / t_warm);
+    println!("wrote {path}");
+}

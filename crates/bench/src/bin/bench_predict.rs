@@ -12,8 +12,9 @@
 
 use std::time::Instant;
 
+use pipeline::PipelineContext;
 use serde_json::json;
-use spec_bench::{cpu2006_dataset, fit_suite_tree, N_SAMPLES, SEED_CPU2006};
+use spec_bench::{cpu2006_artifacts, N_SAMPLES, SEED_CPU2006};
 
 /// Best-of-`reps` wall-clock time of `routine`, in seconds, after one
 /// untimed warm-up run. Returns the last run's output for verification.
@@ -34,8 +35,8 @@ fn main() {
         .unwrap_or_else(|| "results/BENCH_predict.json".into());
     let reps = 10;
 
-    let data = cpu2006_dataset();
-    let tree = fit_suite_tree(&data);
+    let ctx = PipelineContext::from_env();
+    let (data, tree) = cpu2006_artifacts(&ctx);
     let serial = tree.compile().with_n_threads(1);
     let threads = std::thread::available_parallelism().map_or(4, usize::from);
     let parallel = tree.compile().with_n_threads(threads);

@@ -2,16 +2,19 @@
 //! and the leaf equations of Section IV (LM1, LM7, LM8, ...).
 //!
 //! All rendering lives in [`spec_bench::artifacts`] so the testkit
-//! golden-snapshot suite can enforce `results/figure1.{txt,dot}`.
+//! golden-snapshot suite can enforce `results/figure1.{txt,dot}`. The
+//! dataset and tree resolve through the pipeline's artifact store, so
+//! warm reruns skip generation and fitting entirely.
 
-use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree};
+use pipeline::{output, PipelineContext};
+use spec_bench::{artifacts, cpu2006_artifacts};
 
 fn main() {
-    let data = cpu2006_dataset();
-    let tree = fit_suite_tree(&data);
+    let ctx = PipelineContext::from_env();
+    let (data, tree) = cpu2006_artifacts(&ctx);
     let art = artifacts::figure1(&data, &tree);
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write("results/figure1.dot", &art.dot);
     }
-    print!("{}", art.text);
+    output::print(&art.text);
 }

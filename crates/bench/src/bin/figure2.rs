@@ -2,16 +2,19 @@
 //! and the leaf equations of Section V (LM17, LM18, LM2/6/15/16).
 //!
 //! All rendering lives in [`spec_bench::artifacts`] so the testkit
-//! golden-snapshot suite can enforce `results/figure2.{txt,dot}`.
+//! golden-snapshot suite can enforce `results/figure2.{txt,dot}`. The
+//! dataset and tree resolve through the pipeline's artifact store, so
+//! warm reruns skip generation and fitting entirely.
 
-use spec_bench::{artifacts, fit_suite_tree, omp2001_dataset};
+use pipeline::{output, PipelineContext};
+use spec_bench::{artifacts, omp2001_artifacts};
 
 fn main() {
-    let data = omp2001_dataset();
-    let tree = fit_suite_tree(&data);
+    let ctx = PipelineContext::from_env();
+    let (data, tree) = omp2001_artifacts(&ctx);
     let art = artifacts::figure2(&data, &tree);
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write("results/figure2.dot", &art.dot);
     }
-    print!("{}", art.text);
+    output::print(&art.text);
 }

@@ -6,35 +6,49 @@
 //! smaller/larger input sets by scaling the memory-event densities
 //! (`Suite::with_memory_pressure`) and asks: does a model trained on the
 //! reference inputs transfer to other input sets of the *same* suite?
+//!
+//! Every dataset and the reference tree resolve through the pipeline's
+//! artifact store.
 
-use modeltree::ModelTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use spec_bench::{suite_tree_config, SEED_CPU2006, SEED_SPLIT};
+use std::io::Write;
+
+use pipeline::{output, DatasetSpec, PipelineContext, SuiteKind, TreeSpec};
+use spec_bench::{SEED_CPU2006, SEED_SPLIT};
 use spec_stats::{AcceptanceThresholds, PredictionMetrics};
 use transfer::{TransferConfig, TransferabilityReport};
-use workloads::generator::{GeneratorConfig, Suite};
 
 fn main() {
-    let config = GeneratorConfig::default();
-    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
-    let reference = Suite::cpu2006().generate(&mut rng, 30_000, &config);
-    let tree = ModelTree::fit(&reference, &suite_tree_config(reference.len())).expect("fit");
+    let ctx = PipelineContext::from_env();
+    let out = &mut output::stdout();
+
+    let reference_spec = DatasetSpec::new(SuiteKind::Cpu2006, 30_000, SEED_CPU2006);
+    let reference = ctx.dataset(&reference_spec).expect("suite generates");
+    let tree = ctx
+        .tree(&TreeSpec::suite_tree(reference_spec))
+        .expect("reference dataset fits");
     let thresholds = AcceptanceThresholds::default();
 
-    println!("Input-set sensitivity: CPU2006 model trained on reference inputs,");
-    println!("evaluated on scaled-memory-pressure variants of the suite\n");
-    println!(
+    let _ = writeln!(
+        out,
+        "Input-set sensitivity: CPU2006 model trained on reference inputs,"
+    );
+    let _ = writeln!(
+        out,
+        "evaluated on scaled-memory-pressure variants of the suite\n"
+    );
+    let _ = writeln!(
+        out,
         "{:<22} {:>9} {:>8} {:>8} {:>14}",
         "input set", "mean CPI", "C", "MAE", "transferable?"
     );
     for factor in [0.4, 0.6, 0.8, 1.0, 1.25, 1.5] {
-        let suite = Suite::cpu2006().with_memory_pressure(factor);
-        let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-        let data = suite.generate(&mut rng, 10_000, &config);
+        let variant =
+            DatasetSpec::new(SuiteKind::Cpu2006, 10_000, SEED_SPLIT).with_memory_pressure(factor);
+        let data = ctx.dataset(&variant).expect("suite generates");
         let metrics = PredictionMetrics::from_predictions(&tree.predict_all(&data), &data.cpis())
             .expect("non-empty data");
-        println!(
+        let _ = writeln!(
+            out,
             "{:<22} {:>9.3} {:>8.4} {:>8.4} {:>14}",
             format!("memory x{factor}"),
             metrics.mean_actual,
@@ -49,9 +63,9 @@ fn main() {
     }
 
     // Full Section VI treatment of the most-shrunk input set.
-    let small_suite = Suite::cpu2006().with_memory_pressure(0.4);
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT + 1);
-    let small = small_suite.generate(&mut rng, 10_000, &config);
+    let small_spec =
+        DatasetSpec::new(SuiteKind::Cpu2006, 10_000, SEED_SPLIT + 1).with_memory_pressure(0.4);
+    let small = ctx.dataset(&small_spec).expect("suite generates");
     let report = TransferabilityReport::assess(
         &tree,
         &reference,
@@ -61,8 +75,17 @@ fn main() {
         &TransferConfig::default(),
     )
     .expect("datasets large enough");
-    println!("\n{}", report.render());
-    println!("take-away: models transfer across nearby input sets but degrade as the");
-    println!("memory-pressure profile leaves the training distribution — input sets are");
-    println!("part of the \"platform\" the paper scopes its results to.");
+    let _ = writeln!(out, "\n{}", report.render());
+    let _ = writeln!(
+        out,
+        "take-away: models transfer across nearby input sets but degrade as the"
+    );
+    let _ = writeln!(
+        out,
+        "memory-pressure profile leaves the training distribution — input sets are"
+    );
+    let _ = writeln!(
+        out,
+        "part of the \"platform\" the paper scopes its results to."
+    );
 }

@@ -8,41 +8,52 @@
 //! classes are shared with the rest of the suite should pass easily;
 //! benchmarks with private behavior classes (trained on fewer of "their"
 //! samples) mark the suite model's weakest coverage.
+//!
+//! The half-suite training splits, the trees, and every per-member
+//! dataset resolve through the pipeline's artifact store.
 
-use modeltree::ModelTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use spec_bench::{cpu2006_dataset, omp2001_dataset, suite_tree_config, SEED_SPLIT};
+use std::io::Write;
+
+use pipeline::{
+    output, DatasetInput, DatasetSpec, PipelineContext, SplitPart, SplitSpec, TreeSpec,
+};
+use spec_bench::{suite_tree_config, SEED_SPLIT};
 use spec_stats::{AcceptanceThresholds, PredictionMetrics};
-use workloads::generator::{GeneratorConfig, Suite};
 
-fn member_table(suite: &Suite, data: &perfcounters::Dataset, seed: u64) {
+fn member_table(out: &mut impl Write, ctx: &PipelineContext, base: DatasetSpec, seed: u64) {
+    let kind = base.suite;
+    let suite = kind.materialize();
     // Train on a random half so member evaluations are out-of-sample.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (train, _) = data.split_random(&mut rng, 0.5);
-    let tree = ModelTree::fit(&train, &suite_tree_config(train.len())).expect("fit");
+    let split = SplitSpec::new(base, seed, 0.5);
+    let tree = ctx
+        .tree(&TreeSpec {
+            config: suite_tree_config(split.first_len()),
+            input: DatasetInput::SplitPart(split, SplitPart::First),
+        })
+        .expect("training half fits");
     let thresholds = AcceptanceThresholds::default();
 
-    println!(
+    let _ = writeln!(
+        out,
         "{} — suite model ({} leaves) applied to fresh samples of each member:",
         suite.name(),
         tree.n_leaves()
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:<18} {:>8} {:>8} {:>9} {:>14}",
         "benchmark", "C", "MAE", "mean CPI", "transferable?"
     );
     let mut worst: Option<(String, f64)> = None;
     for bench in suite.benchmarks() {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9c);
-        let member = suite
-            .generate_benchmark(&mut rng, bench.name(), 4_000, &GeneratorConfig::default())
-            .expect("member of suite");
+        let member_spec = DatasetSpec::new(kind, 4_000, seed ^ 0xbe9c).with_benchmark(bench.name());
+        let member = ctx.dataset(&member_spec).expect("member of suite");
         let metrics =
             PredictionMetrics::from_predictions(&tree.predict_all(&member), &member.cpis())
                 .expect("non-empty member set");
         let ok = metrics.acceptable(&thresholds);
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:>8.4} {:>8.4} {:>9.3} {:>14}",
             bench.name(),
             metrics.correlation,
@@ -55,12 +66,14 @@ fn member_table(suite: &Suite, data: &perfcounters::Dataset, seed: u64) {
         }
     }
     if let Some((name, mae)) = worst {
-        println!("  hardest member: {name} (MAE {mae:.4})\n");
+        let _ = writeln!(out, "  hardest member: {name} (MAE {mae:.4})\n");
     }
 }
 
 fn main() {
-    println!("Per-member transferability of the suite models\n");
-    member_table(&Suite::cpu2006(), &cpu2006_dataset(), SEED_SPLIT);
-    member_table(&Suite::omp2001(), &omp2001_dataset(), SEED_SPLIT + 1);
+    let ctx = PipelineContext::from_env();
+    let out = &mut output::stdout();
+    let _ = writeln!(out, "Per-member transferability of the suite models\n");
+    member_table(out, &ctx, DatasetSpec::cpu2006(), SEED_SPLIT);
+    member_table(out, &ctx, DatasetSpec::omp2001(), SEED_SPLIT + 1);
 }

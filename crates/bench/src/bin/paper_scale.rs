@@ -9,16 +9,21 @@
 //!
 //! This is the heavyweight experiment (~3.4M samples end to end);
 //! everything else in the workspace uses the 60k-sample configuration.
+//! The datasets, splits, and trees resolve through the pipeline's
+//! artifact store, so a warm rerun (same divisor) goes straight to the
+//! statistics.
 //!
 //! `cargo run --release -p spec-bench --bin paper_scale [scale_divisor]`
 //! — pass e.g. `10` to run at one tenth of the paper's counts.
 
-use modeltree::ModelTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::io::Write;
+
+use pipeline::{
+    output, DatasetInput, DatasetSpec, PipelineContext, SuiteKind, TransferPart, TransferSplitSpec,
+    TreeSpec,
+};
 use spec_bench::{suite_tree_config, SEED_CPU2006, SEED_OMP2001, SEED_SPLIT};
 use transfer::{TransferConfig, TransferabilityReport};
-use workloads::generator::{GeneratorConfig, Suite};
 
 /// The paper's SPEC CPU2006 sample count (10% of it = its n = 208,373).
 const PAPER_CPU_SAMPLES: usize = 2_083_730;
@@ -33,71 +38,87 @@ fn main() {
         .max(1);
     let n_cpu = PAPER_CPU_SAMPLES / divisor;
     let n_omp = PAPER_OMP_SAMPLES / divisor;
-    let config = GeneratorConfig::default();
+    let ctx = PipelineContext::from_env();
+    let out = &mut output::stdout();
 
-    eprintln!("generating {n_cpu} CPU2006 + {n_omp} OMP2001 samples ...");
+    let spec = TransferSplitSpec {
+        cpu: DatasetSpec::new(SuiteKind::Cpu2006, n_cpu, SEED_CPU2006),
+        omp: DatasetSpec::new(SuiteKind::Omp2001, n_omp, SEED_OMP2001),
+        seed: SEED_SPLIT,
+        fraction: 0.10,
+    };
+
+    eprintln!("resolving {n_cpu} CPU2006 + {n_omp} OMP2001 samples ...");
     let t0 = std::time::Instant::now();
-    let mut rng = StdRng::seed_from_u64(SEED_CPU2006);
-    let cpu = Suite::cpu2006().generate(&mut rng, n_cpu, &config);
-    let mut rng = StdRng::seed_from_u64(SEED_OMP2001);
-    let omp = Suite::omp2001().generate(&mut rng, n_omp, &config);
-    eprintln!("generated in {:.1?}", t0.elapsed());
-
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
-    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
+    let split = ctx.transfer_split(&spec).expect("suites generate");
+    eprintln!("datasets + splits resolved in {:.1?}", t0.elapsed());
     // The paper's cross-suite test sets are the other suite's randomly
     // selected 10% sets (m = 135,582 for OMP2001).
-    println!(
+    let _ = writeln!(
+        out,
         "paper scale: n = {} train samples (paper: 208,373), OMP cross-test m = {} (paper: 135,582)\n",
-        cpu_train.len(),
-        omp_train.len()
+        split.cpu_train.len(),
+        split.omp_train.len()
     );
 
     let t0 = std::time::Instant::now();
-    let m5 = suite_tree_config(cpu_train.len());
-    let cpu_tree = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
-    eprintln!("CPU2006 10% tree fitted in {:.1?}", t0.elapsed());
+    let cpu_tree = ctx
+        .tree(&TreeSpec {
+            input: DatasetInput::TransferPart(spec.clone(), TransferPart::CpuTrain),
+            config: suite_tree_config(spec.cpu_train_len()),
+        })
+        .expect("cpu fit");
+    eprintln!("CPU2006 10% tree resolved in {:.1?}", t0.elapsed());
     let t0 = std::time::Instant::now();
-    let omp_tree =
-        ModelTree::fit(&omp_train, &suite_tree_config(omp_train.len())).expect("omp fit");
-    eprintln!("OMP2001 10% tree fitted in {:.1?}", t0.elapsed());
+    let omp_tree = ctx
+        .tree(&TreeSpec {
+            input: DatasetInput::TransferPart(spec.clone(), TransferPart::OmpTrain),
+            config: suite_tree_config(spec.omp_train_len()),
+        })
+        .expect("omp fit");
+    eprintln!("OMP2001 10% tree resolved in {:.1?}", t0.elapsed());
 
     let tconfig = TransferConfig::default();
     for (tree, train, test, a, b) in [
         (
             &cpu_tree,
-            &cpu_train,
-            &cpu_rest,
+            &split.cpu_train,
+            &split.cpu_rest,
             "CPU2006 (10%)",
             "CPU2006 (rest)",
         ),
         (
             &cpu_tree,
-            &cpu_train,
-            &omp_train,
+            &split.cpu_train,
+            &split.omp_train,
             "CPU2006 (10%)",
             "OMP2001 (10%)",
         ),
         (
             &omp_tree,
-            &omp_train,
-            &omp_rest,
+            &split.omp_train,
+            &split.omp_rest,
             "OMP2001 (10%)",
             "OMP2001 (rest)",
         ),
         (
             &omp_tree,
-            &omp_train,
-            &cpu_train,
+            &split.omp_train,
+            &split.cpu_train,
             "OMP2001 (10%)",
             "CPU2006 (10%)",
         ),
     ] {
         let report = TransferabilityReport::assess(tree, train, test, a, b, &tconfig)
             .expect("large datasets");
-        println!("{}", report.render());
+        let _ = writeln!(out, "{}", report.render());
     }
-    println!("paper comparison: within-suite t = 1.212 (accepted); cross-suite t = 125.384");
-    println!("(rejected); C = 0.9214 / MAE = 0.0988 within, C = 0.4337 / MAE = 0.3721 across.");
+    let _ = writeln!(
+        out,
+        "paper comparison: within-suite t = 1.212 (accepted); cross-suite t = 125.384"
+    );
+    let _ = writeln!(
+        out,
+        "(rejected); C = 0.9214 / MAE = 0.0988 within, C = 0.4337 / MAE = 0.3721 across."
+    );
 }

@@ -3,17 +3,21 @@
 //! headline quantity (tree shapes, similarity pairs, transferability
 //! verdicts, baseline comparison) to stdout or a file.
 //!
+//! Every dataset, split, and M5' tree resolves through the pipeline's
+//! artifact store; only the baseline regressors fit directly.
+//!
 //! `cargo run --release -p spec-bench --bin report [output.json]`
 
 use baselines::{CartConfig, OlsRegressor, RegressionTree, Regressor};
 use characterize::{ProfileTable, SimilarityMatrix};
 use modeltree::ModelTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pipeline::{
+    output, DatasetInput, DatasetSpec, PipelineContext, SplitPart, SplitSpec, TreeSpec,
+};
 use serde_json::json;
 use spec_bench::{
-    cpu2006_dataset, fit_suite_tree, omp2001_dataset, suite_tree_config, N_SAMPLES, SEED_CPU2006,
-    SEED_OMP2001, SEED_SPLIT,
+    cpu2006_artifacts, omp2001_artifacts, suite_tree_config, transfer_artifacts, N_SAMPLES,
+    SEED_CPU2006, SEED_OMP2001, SEED_SPLIT,
 };
 use spec_stats::PredictionMetrics;
 use transfer::{TransferConfig, TransferabilityReport};
@@ -34,10 +38,9 @@ fn tree_summary(tree: &ModelTree, train_mae: f64) -> serde_json::Value {
 }
 
 fn main() {
-    let cpu = cpu2006_dataset();
-    let omp = omp2001_dataset();
-    let cpu_tree = fit_suite_tree(&cpu);
-    let omp_tree = fit_suite_tree(&omp);
+    let ctx = PipelineContext::from_env();
+    let (cpu, cpu_tree) = cpu2006_artifacts(&ctx);
+    let (omp, omp_tree) = omp2001_artifacts(&ctx);
 
     // Characterization.
     let cpu_table = ProfileTable::build(&cpu_tree, &cpu);
@@ -50,12 +53,7 @@ fn main() {
     };
 
     // Transferability (paper's 10% protocol).
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-    let (cpu_train, cpu_rest) = cpu.split_random(&mut rng, 0.10);
-    let (omp_train, omp_rest) = omp.split_random(&mut rng, 0.10);
-    let m5 = suite_tree_config(cpu_train.len());
-    let cpu_small = ModelTree::fit(&cpu_train, &m5).expect("cpu fit");
-    let omp_small = ModelTree::fit(&omp_train, &m5).expect("omp fit");
+    let (split, cpu_small, omp_small) = transfer_artifacts(&ctx);
     let config = TransferConfig::default();
     let assess = |tree: &ModelTree,
                   train: &perfcounters::Dataset,
@@ -77,9 +75,14 @@ fn main() {
     };
 
     // Baselines on a 50/50 split.
-    let mut rng = StdRng::seed_from_u64(SEED_SPLIT);
-    let (btrain, btest) = cpu.split_random(&mut rng, 0.5);
-    let btree = ModelTree::fit(&btrain, &suite_tree_config(btrain.len())).expect("fit");
+    let bsplit = SplitSpec::new(DatasetSpec::cpu2006(), SEED_SPLIT, 0.5);
+    let (btrain, btest) = ctx.split(&bsplit).expect("suite generates");
+    let btree = ctx
+        .tree(&TreeSpec {
+            config: suite_tree_config(bsplit.first_len()),
+            input: DatasetInput::SplitPart(bsplit, SplitPart::First),
+        })
+        .expect("training half fits");
     let ols = OlsRegressor::fit(&btrain).expect("ols");
     let cart = RegressionTree::fit(&btrain, CartConfig::default()).expect("cart");
     let eval = |preds: Vec<f64>| {
@@ -102,10 +105,10 @@ fn main() {
             pair("444.namd", "459.GemsFDTD"),
         ],
         "section6_transferability": [
-            assess(&cpu_small, &cpu_train, &cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
-            assess(&cpu_small, &cpu_train, &omp_rest, "CPU2006 (10%)", "OMP2001"),
-            assess(&omp_small, &omp_train, &omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
-            assess(&omp_small, &omp_train, &cpu_rest, "OMP2001 (10%)", "CPU2006"),
+            assess(&cpu_small, &split.cpu_train, &split.cpu_rest, "CPU2006 (10%)", "CPU2006 (rest)"),
+            assess(&cpu_small, &split.cpu_train, &split.omp_rest, "CPU2006 (10%)", "OMP2001"),
+            assess(&omp_small, &split.omp_train, &split.omp_rest, "OMP2001 (10%)", "OMP2001 (rest)"),
+            assess(&omp_small, &split.omp_train, &split.cpu_rest, "OMP2001 (10%)", "CPU2006"),
         ],
         "baselines_cpu2006": {
             "m5_model_tree": eval(btree.predict_all(&btest)),
@@ -120,6 +123,9 @@ fn main() {
             std::fs::write(&path, &rendered).expect("writable output path");
             eprintln!("report written to {path}");
         }
-        None => println!("{rendered}"),
+        None => {
+            output::print(&rendered);
+            output::print("\n");
+        }
     }
 }

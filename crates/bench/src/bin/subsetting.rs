@@ -1,26 +1,38 @@
 //! Experiment E11 — benchmark subsetting over leaf profiles (the
 //! application surveyed in the paper's related work).
+//!
+//! The canonical dataset and suite tree resolve through the pipeline's
+//! artifact store.
+
+use std::io::Write;
 
 use characterize::{greedy_subset, kmeans_subset, ProfileTable};
-use spec_bench::{cpu2006_dataset, fit_suite_tree, SEED_CPU2006};
+use pipeline::{output, PipelineContext};
+use spec_bench::{cpu2006_artifacts, SEED_CPU2006};
 
 fn main() {
-    let data = cpu2006_dataset();
-    let tree = fit_suite_tree(&data);
+    let ctx = PipelineContext::from_env();
+    let out = &mut output::stdout();
+    let (data, tree) = cpu2006_artifacts(&ctx);
     let table = ProfileTable::build(&tree, &data);
 
-    println!("Benchmark subsetting over LM-profile vectors (SPEC CPU2006)\n");
+    let _ = writeln!(
+        out,
+        "Benchmark subsetting over LM-profile vectors (SPEC CPU2006)\n"
+    );
     for k in [4, 6, 8] {
         let g = greedy_subset(&table, k);
-        println!("greedy k-center, k = {k}: {:?}", g.selected);
-        println!(
+        let _ = writeln!(out, "greedy k-center, k = {k}: {:?}", g.selected);
+        let _ = writeln!(
+            out,
             "  coverage: max {:.1}%, mean {:.1}%",
             100.0 * g.max_distance,
             100.0 * g.mean_distance
         );
         let km = kmeans_subset(&table, k, SEED_CPU2006);
-        println!("k-means,        k = {k}: {:?}", km.selected);
-        println!(
+        let _ = writeln!(out, "k-means,        k = {k}: {:?}", km.selected);
+        let _ = writeln!(
+            out,
             "  coverage: max {:.1}%, mean {:.1}%\n",
             100.0 * km.max_distance,
             100.0 * km.mean_distance

@@ -2,12 +2,14 @@
 //! linear models by SPEC CPU2006 benchmark (entries >= 20% starred).
 //!
 //! All rendering lives in [`spec_bench::artifacts`] so the testkit
-//! golden-snapshot suite can enforce `results/table2.txt`.
+//! golden-snapshot suite can enforce `results/table2.txt`. The dataset
+//! and tree resolve through the pipeline's artifact store.
 
-use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree};
+use pipeline::{output, PipelineContext};
+use spec_bench::{artifacts, cpu2006_artifacts};
 
 fn main() {
-    let data = cpu2006_dataset();
-    let tree = fit_suite_tree(&data);
-    print!("{}", artifacts::table2(&data, &tree));
+    let ctx = PipelineContext::from_env();
+    let (data, tree) = cpu2006_artifacts(&ctx);
+    output::print(&artifacts::table2(&data, &tree));
 }

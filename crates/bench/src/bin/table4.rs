@@ -2,12 +2,14 @@
 //! linear models by SPEC OMP2001 benchmark.
 //!
 //! All rendering lives in [`spec_bench::artifacts`] so the testkit
-//! golden-snapshot suite can enforce `results/table4.txt`.
+//! golden-snapshot suite can enforce `results/table4.txt`. The dataset
+//! and tree resolve through the pipeline's artifact store.
 
-use spec_bench::{artifacts, fit_suite_tree, omp2001_dataset};
+use pipeline::{output, PipelineContext};
+use spec_bench::{artifacts, omp2001_artifacts};
 
 fn main() {
-    let data = omp2001_dataset();
-    let tree = fit_suite_tree(&data);
-    print!("{}", artifacts::table4(&data, &tree));
+    let ctx = PipelineContext::from_env();
+    let (data, tree) = omp2001_artifacts(&ctx);
+    output::print(&artifacts::table4(&data, &tree));
 }

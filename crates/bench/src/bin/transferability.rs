@@ -1,14 +1,16 @@
 //! Experiments E7–E9 — regenerates Section VI: the two-sample t-tests
 //! and prediction-accuracy metrics for all four transfer directions.
 //!
-//! All rendering (including the train/test splits and tree fits) lives
-//! in [`spec_bench::artifacts`] so the testkit golden-snapshot suite
-//! can enforce `results/transferability.txt`.
+//! All rendering lives in [`spec_bench::artifacts`] so the testkit
+//! golden-snapshot suite can enforce `results/transferability.txt`.
+//! The splits and 10% trees resolve through the pipeline's artifact
+//! store, so warm reruns skip generation and fitting entirely.
 
-use spec_bench::{artifacts, cpu2006_dataset, omp2001_dataset};
+use pipeline::{output, PipelineContext};
+use spec_bench::{artifacts, transfer_artifacts};
 
 fn main() {
-    let cpu = cpu2006_dataset();
-    let omp = omp2001_dataset();
-    print!("{}", artifacts::transferability(&cpu, &omp));
+    let ctx = PipelineContext::from_env();
+    let (split, cpu_tree, omp_tree) = transfer_artifacts(&ctx);
+    output::print(&artifacts::transferability(&split, &cpu_tree, &omp_tree));
 }

@@ -12,24 +12,29 @@
 //! specrepro transfer --model model.json --train data.csv --test other.csv
 //! specrepro subset   --model model.json --data data.csv --k 6
 //! specrepro crossval --data data.csv --folds 5
+//! specrepro cache    stats
 //! ```
 //!
 //! Dataset files are read and written by extension: `.csv`
 //! ([`perfcounters::dataset`]), `.arff` ([`perfcounters::arff`]), or
 //! `.json` (serde). Models are JSON.
+//!
+//! `generate` and `fit` resolve through the pipeline's
+//! content-addressed artifact store ([`pipeline::ArtifactStore`]), so
+//! repeating a command with identical inputs replays cached bytes
+//! instead of recomputing; `specrepro cache stats|clear` inspects or
+//! deletes the store.
 
 use characterize::{greedy_subset, kmeans_subset, ProfileTable, SimilarityMatrix};
 use modeltree::{display, k_fold, M5Config, ModelTree};
 use perfcounters::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pipeline::{ArtifactStore, DatasetSpec, PipelineContext, RngStreams, SuiteKind};
 use spec_stats::PredictionMetrics;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use transfer::{TransferConfig, TransferabilityReport};
-use workloads::generator::{GeneratorConfig, Suite};
 
 /// A CLI failure: a message suitable for printing to stderr.
 #[derive(Debug)]
@@ -176,10 +181,10 @@ fn parse_threads(flags: &Flags) -> Result<usize> {
     Ok(threads)
 }
 
-fn suite_by_name(name: &str) -> Result<Suite> {
+fn suite_by_name(name: &str) -> Result<SuiteKind> {
     match name {
-        "cpu2006" => Ok(Suite::cpu2006()),
-        "omp2001" => Ok(Suite::omp2001()),
+        "cpu2006" => Ok(SuiteKind::Cpu2006),
+        "omp2001" => Ok(SuiteKind::Omp2001),
         other => Err(CliError(format!(
             "unknown suite {other:?} (expected cpu2006 or omp2001)"
         ))),
@@ -188,31 +193,44 @@ fn suite_by_name(name: &str) -> Result<Suite> {
 
 /// `generate`: synthesize a suite dataset to a file.
 ///
+/// The dataset resolves through the artifact store: a repeated
+/// invocation with the same suite, sample count, seed, and stream
+/// layout loads the cached bytes instead of regenerating. `--threads 1`
+/// keeps the byte-stable sequential stream; higher counts switch to the
+/// per-benchmark stream layout (a different, thread-count-invariant
+/// dataset), so the two cache under different keys.
+///
 /// # Errors
 ///
 /// Fails on bad flags or file errors.
 pub fn cmd_generate(flags: &Flags) -> Result<String> {
-    let suite = suite_by_name(flags.required("suite")?)?;
+    let kind = suite_by_name(flags.required("suite")?)?;
     let samples: usize = flags.parsed_or("samples", 60_000)?;
     let seed: u64 = flags.parsed_or("seed", 1)?;
     let threads = parse_threads(flags)?;
     let out = flags.required("out")?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data = if threads > 1 {
-        suite.generate_par(&mut rng, samples, &GeneratorConfig::default(), threads)
-    } else {
-        suite.generate(&mut rng, samples, &GeneratorConfig::default())
-    };
+    let mut spec = DatasetSpec::new(kind, samples, seed);
+    if threads > 1 {
+        spec = spec.with_streams(RngStreams::PerBenchmark);
+    }
+    let ctx = PipelineContext::from_env().with_gen_threads(threads);
+    let data = ctx.dataset(&spec).map_err(|e| CliError(e.to_string()))?;
     write_dataset(&data, out)?;
     Ok(format!(
         "wrote {} samples from {} ({} benchmarks) to {out}",
         data.len(),
-        suite.name(),
+        kind.materialize().name(),
         data.benchmark_count()
     ))
 }
 
 /// `fit`: train an M5' model tree on a dataset file.
+///
+/// Training is keyed by the dataset's **content** fingerprint plus the
+/// M5' configuration, so refitting an unchanged file (under any name or
+/// format) loads the cached tree bit-identically instead of training
+/// again. `--threads` is an execution hint outside the key: fitted
+/// trees are identical for every thread count.
 ///
 /// # Errors
 ///
@@ -225,11 +243,14 @@ pub fn cmd_fit(flags: &Flags) -> Result<String> {
         .with_min_leaf(min_leaf)
         .with_sd_fraction(sd_fraction)
         .with_n_threads(parse_threads(flags)?);
-    let tree = ModelTree::fit(&data, &config).map_err(|e| CliError(e.to_string()))?;
+    let ctx = PipelineContext::from_env();
+    let tree = ctx
+        .tree_for(&data, &config)
+        .map_err(|e| CliError(e.to_string()))?;
     if let Some(out) = flags.optional("out") {
         let file = std::fs::File::create(out)
             .map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
-        serde_json::to_writer(BufWriter::new(file), &tree)
+        serde_json::to_writer(BufWriter::new(file), &*tree)
             .map_err(|e| CliError(format!("{out}: {e}")))?;
     }
     let mut report = String::new();
@@ -474,6 +495,68 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
     ))
 }
 
+/// `cache`: inspect or clear the environment-selected artifact store.
+///
+/// Unlike every other subcommand this takes one positional action
+/// (`stats` or `clear`), not `--flag value` pairs, so [`run`]
+/// dispatches it before flag parsing.
+///
+/// # Errors
+///
+/// Fails on a missing, unknown, or over-specified action, or on
+/// filesystem errors while clearing.
+pub fn cmd_cache(args: &[String]) -> Result<String> {
+    let store = ArtifactStore::from_env();
+    match args {
+        [action] if action == "stats" => Ok(cache_stats(&store)),
+        [action] if action == "clear" => cache_clear(&store),
+        [other] => Err(CliError(format!(
+            "unknown cache action {other:?} (expected stats or clear)"
+        ))),
+        _ => Err(CliError("usage: specrepro cache stats|clear".into())),
+    }
+}
+
+fn cache_stats(store: &ArtifactStore) -> String {
+    let stats = store.stats();
+    format!(
+        "artifact store {}\n  datasets  {:>5}  {:>10}\n  trees     {:>5}  {:>10}\n  total     {:>5}  {:>10}",
+        store.root().display(),
+        stats.datasets,
+        human_bytes(stats.dataset_bytes),
+        stats.trees,
+        human_bytes(stats.tree_bytes),
+        stats.files(),
+        human_bytes(stats.bytes()),
+    )
+}
+
+fn cache_clear(store: &ArtifactStore) -> Result<String> {
+    let stats = store.stats();
+    store.clear()?;
+    Ok(format!(
+        "cleared {} artifacts ({}) from {}",
+        stats.files(),
+        human_bytes(stats.bytes()),
+        store.root().display()
+    ))
+}
+
+fn human_bytes(n: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = n as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 specrepro — SPEC CPU2006 / OMP2001 characterization toolkit
@@ -492,12 +575,20 @@ USAGE:
   specrepro explain  --model MODEL.json --data FILE [--row N]
   specrepro stats    --data FILE
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
+  specrepro cache    stats|clear
 
 Dataset files: .csv, .arff (WEKA), or .json by extension.
 --threads parallelizes fitting and generation. Fitted trees are
 bit-identical for any thread count. Generation with --threads >= 2 uses
 per-benchmark streams and is thread-count-invariant, but differs from
-the byte-stable sequential --threads 1 output.";
+the byte-stable sequential --threads 1 output.
+
+generate and fit resolve through a content-addressed artifact store
+(SPECREPRO_CACHE_DIR when set, else <system temp>/specrepro-cache):
+repeating a command with identical inputs replays the cached artifact
+bit-for-bit instead of recomputing. `specrepro cache stats` reports its
+contents, `specrepro cache clear` deletes it, and setting
+SPECREPRO_PIPELINE_LOG=0 silences the per-stage cache log on stderr.";
 
 /// Dispatches a full argument vector (without the program name).
 ///
@@ -509,6 +600,10 @@ pub fn run(args: &[String]) -> Result<String> {
     let (command, rest) = args
         .split_first()
         .ok_or_else(|| CliError(format!("no command given\n\n{USAGE}")))?;
+    // `cache` takes a positional action, which `Flags::parse` rejects.
+    if command == "cache" {
+        return cmd_cache(rest);
+    }
     let flags = Flags::parse(rest)?;
     match command.as_str() {
         "generate" => cmd_generate(&flags),
@@ -579,5 +674,65 @@ mod tests {
         assert!(read_dataset("/nonexistent/file.csv").is_err());
         assert!(read_dataset("/nonexistent/file.xyz").is_err());
         assert!(extension("noext").is_err());
+    }
+
+    #[test]
+    fn cache_requires_a_known_action() {
+        let err = run(&argv(&["cache"])).unwrap_err();
+        assert!(err.0.contains("cache stats|clear"));
+        let err = run(&argv(&["cache", "frobnicate"])).unwrap_err();
+        assert!(err.0.contains("unknown cache action"));
+        let err = run(&argv(&["cache", "stats", "extra"])).unwrap_err();
+        assert!(err.0.contains("cache stats|clear"));
+    }
+
+    #[test]
+    fn cache_stats_and_clear_render_over_an_explicit_store() {
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir);
+        let stats = cache_stats(&store);
+        assert!(stats.contains("datasets"));
+        assert!(stats.contains("0 B"));
+        let cleared = cache_clear(&store).unwrap();
+        assert!(cleared.contains("cleared 0 artifacts"));
+    }
+
+    #[test]
+    fn human_bytes_picks_sensible_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+
+    #[test]
+    fn generate_then_fit_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("tiny.csv");
+        let wrote = run(&argv(&[
+            "generate",
+            "--suite",
+            "cpu2006",
+            "--samples",
+            "400",
+            "--seed",
+            "5",
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(wrote.contains("wrote 400 samples"), "{wrote}");
+        let fitted = run(&argv(&[
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        assert!(fitted.contains("training MAE"), "{fitted}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -134,6 +134,49 @@ impl Dataset {
         }
     }
 
+    /// Rebuilds a dataset from raw parts: one sample per label (indexes
+    /// into `benchmarks`), exactly as observable through
+    /// [`Dataset::sample`], [`Dataset::label`], and
+    /// [`Dataset::benchmark_names`]. This is the constructor binary
+    /// deserializers use to reproduce a dataset bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Parse`] when `samples` and `labels` differ in
+    /// length, a label points past the name table, or the name table
+    /// contains a duplicate (which [`Dataset::add_benchmark`] could never
+    /// produce).
+    pub fn from_parts(
+        samples: Vec<Sample>,
+        labels: Vec<u32>,
+        benchmarks: Vec<String>,
+    ) -> Result<Dataset> {
+        if samples.len() != labels.len() {
+            return Err(DataError::Parse(format!(
+                "{} samples but {} labels",
+                samples.len(),
+                labels.len()
+            )));
+        }
+        for (i, name) in benchmarks.iter().enumerate() {
+            if benchmarks[..i].contains(name) {
+                return Err(DataError::Parse(format!("duplicate benchmark {name:?}")));
+            }
+        }
+        if let Some(bad) = labels.iter().find(|&&l| l as usize >= benchmarks.len()) {
+            return Err(DataError::Parse(format!(
+                "label {bad} out of range ({} benchmarks)",
+                benchmarks.len()
+            )));
+        }
+        Ok(Dataset {
+            samples,
+            labels,
+            benchmarks,
+            columns: OnceLock::new(),
+        })
+    }
+
     /// Drops the cached columnar view; called by every mutation.
     fn invalidate_columns(&mut self) {
         self.columns = OnceLock::new();
@@ -462,6 +505,25 @@ mod tests {
     fn push_unregistered_label_panics() {
         let mut ds = Dataset::new();
         ds.push(Sample::zeros(1.0), 0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_accessors() {
+        let ds = tiny_dataset();
+        let samples: Vec<Sample> = (0..ds.len()).map(|i| ds.sample(i).clone()).collect();
+        let labels: Vec<u32> = (0..ds.len()).map(|i| ds.label(i)).collect();
+        let names = ds.benchmark_names().to_vec();
+        let back = Dataset::from_parts(samples, labels, names).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed() {
+        let s = vec![Sample::zeros(1.0)];
+        assert!(Dataset::from_parts(s.clone(), vec![], vec!["a".into()]).is_err());
+        assert!(Dataset::from_parts(s.clone(), vec![1], vec!["a".into()]).is_err());
+        assert!(Dataset::from_parts(s, vec![0], vec!["a".into(), "a".into()]).is_err());
+        assert!(Dataset::from_parts(vec![], vec![], vec![]).is_ok());
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Compact binary (de)serialization for cached artifacts.
+//!
+//! Two container formats, both carrying the schema version and a
+//! trailing FNV-1a integrity hash so truncated, bit-flipped, or
+//! cross-version cache files are detected on load and treated as
+//! misses:
+//!
+//! * **`SPDS`** — a columnar [`Dataset`] image: name table, labels,
+//!   then the CPI column and each event column as raw IEEE-754 bit
+//!   patterns. Round-trips are bit-exact (enforced by tests and by the
+//!   testkit cache-identity suite).
+//! * **`SPMT`** — a [`ModelTree`] envelope: the tree's canonical JSON
+//!   (the same serde representation `specrepro fit --out` writes)
+//!   wrapped with version and integrity framing.
+//!
+//! Numbers are little-endian. The formats are cache-internal: nothing
+//! outside the artifact store reads them, and a [`SCHEMA_VERSION`] bump
+//! retires old files wholesale.
+
+use crate::fingerprint::SCHEMA_VERSION;
+use modeltree::ModelTree;
+use perfcounters::events::N_EVENTS;
+use perfcounters::{Dataset, EventId, Sample};
+
+const DATASET_MAGIC: &[u8; 4] = b"SPDS";
+const TREE_MAGIC: &[u8; 4] = b"SPMT";
+
+/// Why a cache file failed to decode (all variants are treated as a
+/// cache miss by the store; the reason feeds the stage log).
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// File too short for the region being read.
+    Truncated,
+    /// Wrong magic bytes (not an artifact of this kind).
+    BadMagic,
+    /// Artifact written by a different schema version.
+    WrongVersion(u32),
+    /// Trailing integrity hash does not match the content.
+    IntegrityMismatch,
+    /// Structurally invalid content (bad label, bad UTF-8, bad JSON…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated artifact"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::WrongVersion(v) => {
+                write!(f, "schema version {v} (current {SCHEMA_VERSION})")
+            }
+            CodecError::IntegrityMismatch => write!(f, "integrity hash mismatch"),
+            CodecError::Malformed(m) => write!(f, "malformed artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a over a byte slice — the integrity hash appended to every
+/// artifact file.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Checks magic + version framing and the trailing integrity hash,
+/// returning the payload region between them.
+fn open_envelope<'a>(bytes: &'a [u8], magic: &[u8; 4]) -> Result<Reader<'a>, CodecError> {
+    if bytes.len() < 4 + 4 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..4] != magic {
+        return Err(CodecError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(CodecError::IntegrityMismatch);
+    }
+    let mut r = Reader { buf: body, pos: 4 };
+    let version = r.u32()?;
+    if version != SCHEMA_VERSION {
+        return Err(CodecError::WrongVersion(version));
+    }
+    Ok(r)
+}
+
+fn seal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let hash = fnv1a(&bytes);
+    bytes.extend_from_slice(&hash.to_le_bytes());
+    bytes
+}
+
+/// Encodes a dataset into the columnar `SPDS` image.
+pub fn encode_dataset(data: &Dataset) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(32 + n * (4 + 8 * (1 + N_EVENTS)));
+    out.extend_from_slice(DATASET_MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(N_EVENTS as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(data.benchmark_count() as u32).to_le_bytes());
+    for name in data.benchmark_names() {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    for i in 0..n {
+        out.extend_from_slice(&data.label(i).to_le_bytes());
+    }
+    let cols = data.columns();
+    for &cpi in cols.cpi() {
+        out.extend_from_slice(&cpi.to_bits().to_le_bytes());
+    }
+    for e in EventId::ALL {
+        for &v in cols.event(e) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    seal(out)
+}
+
+/// Decodes an `SPDS` image back into a bit-identical dataset.
+///
+/// # Errors
+///
+/// Any framing, integrity, or structural defect returns a
+/// [`CodecError`]; the store treats all of them as a miss.
+pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset, CodecError> {
+    let mut r = open_envelope(bytes, DATASET_MAGIC)?;
+    let n_events = r.u32()? as usize;
+    if n_events != N_EVENTS {
+        return Err(CodecError::Malformed(format!(
+            "{n_events} event columns (expected {N_EVENTS})"
+        )));
+    }
+    let n = usize::try_from(r.u64()?).map_err(|_| CodecError::Truncated)?;
+    let n_benchmarks = r.u32()? as usize;
+    let mut benchmarks = Vec::with_capacity(n_benchmarks.min(1024));
+    for _ in 0..n_benchmarks {
+        let len = r.u32()? as usize;
+        let raw = r.take(len)?;
+        let name = std::str::from_utf8(raw)
+            .map_err(|e| CodecError::Malformed(format!("benchmark name: {e}")))?;
+        benchmarks.push(name.to_owned());
+    }
+    // Guard against absurd sample counts before allocating.
+    let remaining = r.buf.len() - r.pos;
+    let per_sample = 4 + 8 * (1 + N_EVENTS);
+    if remaining != n * per_sample {
+        return Err(CodecError::Malformed(format!(
+            "{remaining} payload bytes for {n} samples (expected {})",
+            n * per_sample
+        )));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(r.u32()?);
+    }
+    let mut cpi = Vec::with_capacity(n);
+    for _ in 0..n {
+        cpi.push(r.f64()?);
+    }
+    let mut columns = vec![0.0f64; N_EVENTS * n];
+    for col in columns.chunks_exact_mut(n.max(1)).take(N_EVENTS) {
+        for v in col.iter_mut() {
+            *v = r.f64()?;
+        }
+    }
+    let mut samples = Vec::with_capacity(n);
+    let mut densities = [0.0f64; N_EVENTS];
+    for i in 0..n {
+        for (e, d) in densities.iter_mut().enumerate() {
+            *d = columns[e * n + i];
+        }
+        samples.push(Sample::from_densities(cpi[i], &densities));
+    }
+    Dataset::from_parts(samples, labels, benchmarks)
+        .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+/// Encodes a model tree into the `SPMT` envelope (canonical serde JSON
+/// plus framing).
+pub fn encode_tree(tree: &ModelTree) -> Vec<u8> {
+    let payload = serde_json::to_vec(tree).expect("ModelTree serializes");
+    let mut out = Vec::with_capacity(24 + payload.len());
+    out.extend_from_slice(TREE_MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    seal(out)
+}
+
+/// Decodes an `SPMT` envelope back into a model tree.
+///
+/// # Errors
+///
+/// Any framing, integrity, or JSON defect returns a [`CodecError`].
+pub fn decode_tree(bytes: &[u8]) -> Result<ModelTree, CodecError> {
+    let mut r = open_envelope(bytes, TREE_MAGIC)?;
+    let len = usize::try_from(r.u64()?).map_err(|_| CodecError::Truncated)?;
+    let payload = r.take(len)?;
+    serde_json::from_slice(payload).map_err(|e| CodecError::Malformed(format!("tree json: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modeltree::M5Config;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workloads::generator::{GeneratorConfig, Suite};
+
+    fn sample_dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(99);
+        Suite::cpu2006().generate(&mut rng, n, &GeneratorConfig::default())
+    }
+
+    fn assert_bit_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.benchmark_names(), b.benchmark_names());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.label(i), b.label(i));
+            assert_eq!(a.sample(i).cpi().to_bits(), b.sample(i).cpi().to_bits());
+            for e in EventId::ALL {
+                assert_eq!(a.sample(i).get(e).to_bits(), b.sample(i).get(e).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_roundtrip_bit_exact() {
+        let ds = sample_dataset(300);
+        let back = decode_dataset(&encode_dataset(&ds)).unwrap();
+        assert_bit_identical(&ds, &back);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let ds = Dataset::new();
+        let back = decode_dataset(&encode_dataset(&ds)).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.benchmark_count(), 0);
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark("weird");
+        let mut s = Sample::zeros(-0.0);
+        s.set(EventId::Load, f64::MIN_POSITIVE);
+        s.set(EventId::L2Miss, 1e-300);
+        ds.push(s, l);
+        let back = decode_dataset(&encode_dataset(&ds)).unwrap();
+        assert_bit_identical(&ds, &back);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let ds = sample_dataset(50);
+        let good = encode_dataset(&ds);
+        // A flipped bit anywhere (header, payload, or hash) is caught.
+        for pos in [0usize, 5, 40, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            assert!(decode_dataset(&bad).is_err(), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let ds = sample_dataset(50);
+        let good = encode_dataset(&ds);
+        for keep in [0usize, 3, 12, good.len() / 2, good.len() - 1] {
+            assert!(
+                decode_dataset(&good[..keep]).is_err(),
+                "truncation to {keep} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version() {
+        let ds = sample_dataset(10);
+        let good = encode_dataset(&ds);
+        assert!(matches!(
+            decode_dataset(&encode_tree(&tree())),
+            Err(CodecError::BadMagic)
+        ));
+        // Patch the version field and re-seal.
+        let mut bad = good[..good.len() - 8].to_vec();
+        bad[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        let bad = seal(bad);
+        assert_eq!(
+            decode_dataset(&bad).unwrap_err(),
+            CodecError::WrongVersion(SCHEMA_VERSION + 1)
+        );
+    }
+
+    fn tree() -> ModelTree {
+        let ds = sample_dataset(200);
+        ModelTree::fit(&ds, &M5Config::default().with_min_leaf(20)).unwrap()
+    }
+
+    #[test]
+    fn tree_roundtrip_is_canonical_json() {
+        let t = tree();
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&t).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+    }
+
+    #[test]
+    fn tree_corruption_detected() {
+        let good = encode_tree(&tree());
+        for pos in [0usize, 6, good.len() / 2, good.len() - 2] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode_tree(&bad).is_err(), "flip at {pos} undetected");
+        }
+        assert!(decode_tree(&good[..good.len() - 9]).is_err());
+    }
+}

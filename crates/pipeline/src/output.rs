@@ -1,0 +1,60 @@
+//! Broken-pipe-safe standard output.
+//!
+//! Experiment bins are routinely piped into `head` or `less`; when the
+//! reader closes early, `println!` panics on the resulting `EPIPE`.
+//! [`stdout`] returns a writer that swallows `BrokenPipe` (reporting
+//! the bytes as written), so `writeln!(out, ...)` in a loop degrades to
+//! a silent no-op once the consumer goes away while every other I/O
+//! error still surfaces.
+
+use std::io::{self, ErrorKind, Write};
+
+/// A stdout handle whose writes never fail with `BrokenPipe`.
+pub struct PipeSafeStdout {
+    inner: io::Stdout,
+}
+
+impl Write for PipeSafeStdout {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.inner.write(buf) {
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => Ok(buf.len()),
+            other => other,
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.inner.flush() {
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// A broken-pipe-safe handle to standard output.
+pub fn stdout() -> PipeSafeStdout {
+    PipeSafeStdout {
+        inner: io::stdout(),
+    }
+}
+
+/// Prints a full rendered artifact to stdout, ignoring `BrokenPipe`
+/// (convenience for bins that render once and print once).
+pub fn print(text: &str) {
+    let mut out = stdout();
+    let _ = out.write_all(text.as_bytes());
+    let _ = out.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_pass_through() {
+        // Can't force EPIPE portably in a unit test; exercise the happy
+        // path so the adapter at least round-trips lengths correctly.
+        let mut out = stdout();
+        assert_eq!(out.write(b"").unwrap(), 0);
+        out.flush().unwrap();
+    }
+}

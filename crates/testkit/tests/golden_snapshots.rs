@@ -13,33 +13,33 @@
 //! TESTKIT_BLESS=1 cargo test -p testkit --test golden_snapshots
 //! ```
 //!
-//! The canonical 60k-sample suite datasets and their fitted trees are
-//! shared across tests through `OnceLock` so the whole file costs two
-//! dataset generations and two tree fits.
+//! The artifacts resolve through one shared `PipelineContext` over the
+//! environment-selected artifact store — exactly the path the bins use
+//! — so a warm store makes this suite fast while the byte-for-byte
+//! comparison simultaneously proves cached artifacts replay the cold
+//! results exactly.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use modeltree::ModelTree;
 use perfcounters::Dataset;
-use spec_bench::{artifacts, cpu2006_dataset, fit_suite_tree, omp2001_dataset};
+use pipeline::{PipelineContext, TransferSplit};
+use spec_bench::{artifacts, cpu2006_artifacts, omp2001_artifacts, transfer_artifacts};
 use testkit::golden::check_or_bless;
 
-fn cpu() -> &'static (Dataset, ModelTree) {
-    static CPU: OnceLock<(Dataset, ModelTree)> = OnceLock::new();
-    CPU.get_or_init(|| {
-        let data = cpu2006_dataset();
-        let tree = fit_suite_tree(&data);
-        (data, tree)
-    })
+fn ctx() -> &'static PipelineContext {
+    static CTX: OnceLock<PipelineContext> = OnceLock::new();
+    CTX.get_or_init(PipelineContext::from_env)
 }
 
-fn omp() -> &'static (Dataset, ModelTree) {
-    static OMP: OnceLock<(Dataset, ModelTree)> = OnceLock::new();
-    OMP.get_or_init(|| {
-        let data = omp2001_dataset();
-        let tree = fit_suite_tree(&data);
-        (data, tree)
-    })
+fn cpu() -> &'static (Arc<Dataset>, Arc<ModelTree>) {
+    static CPU: OnceLock<(Arc<Dataset>, Arc<ModelTree>)> = OnceLock::new();
+    CPU.get_or_init(|| cpu2006_artifacts(ctx()))
+}
+
+fn omp() -> &'static (Arc<Dataset>, Arc<ModelTree>) {
+    static OMP: OnceLock<(Arc<Dataset>, Arc<ModelTree>)> = OnceLock::new();
+    OMP.get_or_init(|| omp2001_artifacts(ctx()))
 }
 
 fn enforce(name: &str, rendered: &str) {
@@ -84,10 +84,10 @@ fn table4_matches_golden() {
 
 #[test]
 fn transferability_matches_golden() {
-    let (cpu_data, _) = cpu();
-    let (omp_data, _) = omp();
+    static TRANSFER: OnceLock<(TransferSplit, Arc<ModelTree>, Arc<ModelTree>)> = OnceLock::new();
+    let (split, cpu_tree, omp_tree) = TRANSFER.get_or_init(|| transfer_artifacts(ctx()));
     enforce(
         "transferability.txt",
-        &artifacts::transferability(cpu_data, omp_data),
+        &artifacts::transferability(split, cpu_tree, omp_tree),
     );
 }
