@@ -33,6 +33,8 @@ fn cv_row(out: &mut impl Write, name: &str, data: &perfcounters::Dataset, config
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
 

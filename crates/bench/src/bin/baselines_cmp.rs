@@ -76,6 +76,8 @@ fn compare(out: &mut impl Write, ctx: &PipelineContext, suite_name: &str, spec: 
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
     let _ = writeln!(

@@ -1,0 +1,139 @@
+//! Telemetry overhead snapshot: instrumented hot paths with obskit
+//! disabled vs enabled.
+//!
+//! Times the two instrumented kernels of the reproduction — a 50k-row
+//! M5' fit and a 60k-row compiled-engine predict — three ways: with
+//! telemetry disabled (the default every experiment runs under), with
+//! metrics counters enabled, and with metrics + span tracing enabled.
+//! It then proves the determinism contract: the tree fitted and the
+//! predictions computed with telemetry fully on are bit-identical to
+//! the ones computed with it off. The timings and the enabled-overhead
+//! ratios are written as JSON; per-operation disabled-path costs (a
+//! single relaxed atomic load) are measured separately by the
+//! `obskit_overhead` Criterion bench.
+//!
+//! `cargo run --release -p spec-bench --bin bench_obskit [output.json]`
+//! (default output: `results/BENCH_obskit.json`).
+
+use std::time::Instant;
+
+use modeltree::{M5Config, ModelTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use workloads::generator::{GeneratorConfig, Suite};
+
+/// Best-of-`reps` wall-clock seconds after one untimed warm-up run;
+/// returns the last run's output for verification.
+fn time_best<O>(reps: usize, mut routine: impl FnMut() -> O) -> (f64, O) {
+    let mut out = routine();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = routine();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn overhead_pct(baseline: f64, measured: f64) -> f64 {
+    100.0 * (measured - baseline) / baseline
+}
+
+fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_obskit.json".into());
+    let reps = 5;
+
+    let n_fit = 50_000;
+    let n_predict = 60_000;
+    let fit_data = Suite::cpu2006().generate(
+        &mut StdRng::seed_from_u64(1),
+        n_fit,
+        &GeneratorConfig::default(),
+    );
+    let predict_data = Suite::cpu2006().generate(
+        &mut StdRng::seed_from_u64(2),
+        n_predict,
+        &GeneratorConfig::default(),
+    );
+    let config = M5Config::default().with_min_leaf((n_fit / 120).max(4));
+
+    // Fit: telemetry disabled, metrics only, metrics + tracing.
+    obskit::set_enabled(false, false);
+    let (t_fit_off, tree_off) = time_best(reps, || ModelTree::fit(&fit_data, &config).unwrap());
+    obskit::set_enabled(true, false);
+    let (t_fit_metrics, _) = time_best(reps, || ModelTree::fit(&fit_data, &config).unwrap());
+    obskit::set_enabled(true, true);
+    let (t_fit_on, tree_on) = time_best(reps, || {
+        obskit::span::reset(); // keep the span buffer from saturating across reps
+        ModelTree::fit(&fit_data, &config).unwrap()
+    });
+    obskit::set_enabled(false, false);
+
+    // Predict over 60k rows with the telemetry-off tree.
+    let engine = tree_off.compile().with_n_threads(1);
+    let (t_pred_off, pred_off) = time_best(reps, || engine.predict_batch(&predict_data));
+    obskit::set_enabled(true, false);
+    let (t_pred_metrics, _) = time_best(reps, || engine.predict_batch(&predict_data));
+    obskit::set_enabled(true, true);
+    let (t_pred_on, pred_on) = time_best(reps, || {
+        obskit::span::reset();
+        engine.predict_batch(&predict_data)
+    });
+    obskit::set_enabled(false, false);
+    obskit::span::reset();
+    obskit::metrics::reset();
+
+    // Determinism contract: telemetry is write-only with respect to the
+    // computation. Trees and predictions must be bit-identical.
+    assert_eq!(
+        serde_json::to_string(&tree_on).unwrap(),
+        serde_json::to_string(&tree_off).unwrap(),
+        "tree fitted with telemetry on differs from telemetry off"
+    );
+    assert_eq!(pred_on.len(), pred_off.len());
+    assert!(
+        pred_on
+            .iter()
+            .zip(&pred_off)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "predictions with telemetry on differ from telemetry off"
+    );
+
+    let report = json!({
+        "experiment": "obskit telemetry overhead: disabled vs metrics vs metrics+tracing",
+        "fit": {
+            "rows": n_fit,
+            "leaves": tree_off.n_leaves(),
+            "seconds_disabled": t_fit_off,
+            "seconds_metrics": t_fit_metrics,
+            "seconds_tracing": t_fit_on,
+            "metrics_overhead_pct": overhead_pct(t_fit_off, t_fit_metrics),
+            "tracing_overhead_pct": overhead_pct(t_fit_off, t_fit_on),
+        },
+        "predict": {
+            "rows": n_predict,
+            "seconds_disabled": t_pred_off,
+            "seconds_metrics": t_pred_metrics,
+            "seconds_tracing": t_pred_on,
+            "metrics_overhead_pct": overhead_pct(t_pred_off, t_pred_metrics),
+            "tracing_overhead_pct": overhead_pct(t_pred_off, t_pred_on),
+        },
+        "bit_identical_with_telemetry": true,
+        "disabled_path": "single relaxed atomic load per call site; \
+                          per-op cost measured by the obskit_overhead Criterion bench",
+    });
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, body + "\n").expect("write snapshot");
+
+    println!("fit {n_fit} rows:      off {t_fit_off:.3} s, metrics {t_fit_metrics:.3} s ({:+.2}%), tracing {t_fit_on:.3} s ({:+.2}%)",
+        overhead_pct(t_fit_off, t_fit_metrics), overhead_pct(t_fit_off, t_fit_on));
+    println!("predict {n_predict} rows: off {t_pred_off:.4} s, metrics {t_pred_metrics:.4} s ({:+.2}%), tracing {t_pred_on:.4} s ({:+.2}%)",
+        overhead_pct(t_pred_off, t_pred_metrics), overhead_pct(t_pred_off, t_pred_on));
+    println!("trees and predictions bit-identical with telemetry on/off");
+    println!("wrote {path}");
+}

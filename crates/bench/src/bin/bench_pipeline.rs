@@ -28,6 +28,8 @@ fn counters_json(c: &StageCounters) -> serde_json::Value {
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "results/BENCH_pipeline.json".into());

@@ -30,6 +30,8 @@ fn time_best<O>(reps: usize, mut routine: impl FnMut() -> O) -> (f64, O) {
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "results/BENCH_predict.json".into());

@@ -10,6 +10,8 @@ use pipeline::{output, PipelineContext};
 use spec_bench::{artifacts, cpu2006_artifacts};
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let (data, tree) = cpu2006_artifacts(&ctx);
     let art = artifacts::figure1(&data, &tree);

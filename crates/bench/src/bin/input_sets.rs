@@ -18,6 +18,8 @@ use spec_stats::{AcceptanceThresholds, PredictionMetrics};
 use transfer::{TransferConfig, TransferabilityReport};
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
 

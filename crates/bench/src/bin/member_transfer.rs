@@ -71,6 +71,8 @@ fn member_table(out: &mut impl Write, ctx: &PipelineContext, base: DatasetSpec, 
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
     let _ = writeln!(out, "Per-member transferability of the suite models\n");

@@ -31,6 +31,8 @@ const PAPER_CPU_SAMPLES: usize = 2_083_730;
 const PAPER_OMP_SAMPLES: usize = 1_355_820;
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let divisor: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())

@@ -38,6 +38,8 @@ fn tree_summary(tree: &ModelTree, train_mae: f64) -> serde_json::Value {
 }
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let (cpu, cpu_tree) = cpu2006_artifacts(&ctx);
     let (omp, omp_tree) = omp2001_artifacts(&ctx);

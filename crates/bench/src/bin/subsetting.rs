@@ -11,6 +11,8 @@ use pipeline::{output, PipelineContext};
 use spec_bench::{cpu2006_artifacts, SEED_CPU2006};
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
     let (data, tree) = cpu2006_artifacts(&ctx);

@@ -4,6 +4,8 @@
 use perfcounters::events::{EventId, FIXED_COUNTERS, INTERVAL_INSTRUCTIONS};
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     println!("Table I: CPU performance metrics used in this study");
     println!("(each PMU event is divided by INST_RETIRED.ANY; values are per-instruction)\n");
     println!("{:<12} {:<28} Description", "Metric", "PMU event");

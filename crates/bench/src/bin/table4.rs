@@ -9,6 +9,8 @@ use pipeline::{output, PipelineContext};
 use spec_bench::{artifacts, omp2001_artifacts};
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
     let ctx = PipelineContext::from_env();
     let (data, tree) = omp2001_artifacts(&ctx);
     output::print(&artifacts::table4(&data, &tree));

@@ -13,6 +13,8 @@
 //! specrepro subset   --model model.json --data data.csv --k 6
 //! specrepro crossval --data data.csv --folds 5
 //! specrepro cache    stats
+//! specrepro trace    --out trace.json fit --data data.csv
+//! specrepro metrics  --json fit --data data.csv
 //! ```
 //!
 //! Dataset files are read and written by extension: `.csv`
@@ -498,7 +500,7 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
 /// `cache`: inspect or clear the environment-selected artifact store.
 ///
 /// Unlike every other subcommand this takes one positional action
-/// (`stats` or `clear`), not `--flag value` pairs, so [`run`]
+/// (`stats [--json]` or `clear`), not `--flag value` pairs, so [`run`]
 /// dispatches it before flag parsing.
 ///
 /// # Errors
@@ -508,19 +510,65 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
 pub fn cmd_cache(args: &[String]) -> Result<String> {
     let store = ArtifactStore::from_env();
     match args {
-        [action] if action == "stats" => Ok(cache_stats(&store)),
+        [action] if action == "stats" => Ok(cache_stats(&store, false)),
+        [action, flag] if action == "stats" && flag == "--json" => Ok(cache_stats(&store, true)),
         [action] if action == "clear" => cache_clear(&store),
         [other] => Err(CliError(format!(
             "unknown cache action {other:?} (expected stats or clear)"
         ))),
-        _ => Err(CliError("usage: specrepro cache stats|clear".into())),
+        _ => Err(CliError(
+            "usage: specrepro cache stats|clear (stats accepts --json)".into(),
+        )),
     }
 }
 
-fn cache_stats(store: &ArtifactStore) -> String {
+/// On-disk store counts plus this process's pipeline telemetry (hit
+/// ratio, bytes moved, corrupt evictions) — the latter is all zeros
+/// unless metrics were enabled and pipeline work ran in-process, e.g.
+/// under `specrepro metrics`.
+fn cache_stats(store: &ArtifactStore, json: bool) -> String {
     let stats = store.stats();
+    let snap = obskit::metrics::snapshot();
+    let metric = |name: &str| snap.get(name).unwrap_or(0);
+    let hits = metric("pipeline.dataset_hits") + metric("pipeline.tree_hits");
+    let misses = metric("pipeline.dataset_misses") + metric("pipeline.tree_misses");
+    let lookups = hits + misses;
+    let hit_ratio = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let bytes_read = metric("pipeline.bytes_read");
+    let bytes_written = metric("pipeline.bytes_written");
+    let evictions = metric("pipeline.corrupt_evictions");
+    if json {
+        return format!(
+            concat!(
+                "{{\"root\":{},",
+                "\"datasets\":{{\"files\":{},\"bytes\":{}}},",
+                "\"trees\":{{\"files\":{},\"bytes\":{}}},",
+                "\"total\":{{\"files\":{},\"bytes\":{}}},",
+                "\"pipeline\":{{\"hits\":{},\"misses\":{},\"hit_ratio\":{:.4},",
+                "\"bytes_read\":{},\"bytes_written\":{},\"corrupt_evictions\":{}}}}}"
+            ),
+            obskit::export::json_string(&store.root().display().to_string()),
+            stats.datasets,
+            stats.dataset_bytes,
+            stats.trees,
+            stats.tree_bytes,
+            stats.files(),
+            stats.bytes(),
+            hits,
+            misses,
+            hit_ratio,
+            bytes_read,
+            bytes_written,
+            evictions,
+        );
+    }
     format!(
-        "artifact store {}\n  datasets  {:>5}  {:>10}\n  trees     {:>5}  {:>10}\n  total     {:>5}  {:>10}",
+        "artifact store {}\n  datasets  {:>5}  {:>10}\n  trees     {:>5}  {:>10}\n  total     {:>5}  {:>10}\n\
+         pipeline telemetry (this process)\n  lookups   {:>5}  hit ratio {:.1}%\n  read      {:>10}  written {:>10}\n  corrupt evictions {}",
         store.root().display(),
         stats.datasets,
         human_bytes(stats.dataset_bytes),
@@ -528,6 +576,11 @@ fn cache_stats(store: &ArtifactStore) -> String {
         human_bytes(stats.tree_bytes),
         stats.files(),
         human_bytes(stats.bytes()),
+        lookups,
+        100.0 * hit_ratio,
+        human_bytes(bytes_read),
+        human_bytes(bytes_written),
+        evictions,
     )
 }
 
@@ -540,6 +593,77 @@ fn cache_clear(store: &ArtifactStore) -> Result<String> {
         human_bytes(stats.bytes()),
         store.root().display()
     ))
+}
+
+/// `trace`: run a wrapped subcommand with tracing and metrics enabled,
+/// then write a Chrome-trace (`chrome://tracing`, Perfetto) JSON file.
+///
+/// Takes positional arguments — `--out FILE` followed by a full
+/// `specrepro` command line — so [`run`] dispatches it before flag
+/// parsing. Telemetry counters are reset first, so the trace covers
+/// exactly the wrapped command. The trace is written even when the
+/// wrapped command fails, which makes failed runs inspectable.
+///
+/// # Errors
+///
+/// Fails on a malformed invocation, on the wrapped command's own
+/// error, or when the trace file cannot be written.
+pub fn cmd_trace(args: &[String]) -> Result<String> {
+    const TRACE_USAGE: &str = "usage: specrepro trace --out FILE <command ...>";
+    let (out, rest) = match args.split_first() {
+        Some((flag, rest)) if flag == "--out" => rest
+            .split_first()
+            .ok_or_else(|| CliError(format!("--out is missing a value\n{TRACE_USAGE}")))?,
+        _ => return Err(CliError(TRACE_USAGE.into())),
+    };
+    if rest.is_empty() {
+        return Err(CliError(format!("no command to trace\n{TRACE_USAGE}")));
+    }
+    obskit::metrics::reset();
+    obskit::span::reset();
+    obskit::set_enabled(true, true);
+    let result = run(rest);
+    obskit::set_enabled(false, false);
+    let events = obskit::span::event_count();
+    obskit::export::write_trace(out).map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    let report = result?;
+    Ok(format!(
+        "{report}\n\nwrote {events} trace events to {out} (open in chrome://tracing or ui.perfetto.dev)"
+    ))
+}
+
+/// `metrics`: run a wrapped subcommand with metrics enabled, then
+/// report the counter/gauge/histogram registry — human-readable by
+/// default, or a single JSON document with `--json` (the wrapped
+/// command's own report is suppressed so stdout stays parseable).
+///
+/// Positional like [`cmd_trace`], dispatched before flag parsing.
+///
+/// # Errors
+///
+/// Fails on a malformed invocation or on the wrapped command's error.
+pub fn cmd_metrics(args: &[String]) -> Result<String> {
+    const METRICS_USAGE: &str = "usage: specrepro metrics [--json] <command ...>";
+    let (json, rest) = match args.split_first() {
+        Some((flag, rest)) if flag == "--json" => (true, rest),
+        _ => (false, args),
+    };
+    if rest.is_empty() {
+        return Err(CliError(format!("no command to measure\n{METRICS_USAGE}")));
+    }
+    obskit::metrics::reset();
+    obskit::set_enabled(true, false);
+    let result = run(rest);
+    obskit::set_enabled(false, false);
+    let report = result?;
+    Ok(if json {
+        obskit::export::metrics_json()
+    } else {
+        format!(
+            "{report}\n\nmetrics:\n{}",
+            obskit::export::metrics_human().trim_end()
+        )
+    })
 }
 
 fn human_bytes(n: u64) -> String {
@@ -575,7 +699,9 @@ USAGE:
   specrepro explain  --model MODEL.json --data FILE [--row N]
   specrepro stats    --data FILE
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
-  specrepro cache    stats|clear
+  specrepro cache    stats [--json] | clear
+  specrepro trace    --out FILE <command ...>
+  specrepro metrics  [--json] <command ...>
 
 Dataset files: .csv, .arff (WEKA), or .json by extension.
 --threads parallelizes fitting and generation. Fitted trees are
@@ -588,7 +714,14 @@ generate and fit resolve through a content-addressed artifact store
 repeating a command with identical inputs replays the cached artifact
 bit-for-bit instead of recomputing. `specrepro cache stats` reports its
 contents, `specrepro cache clear` deletes it, and setting
-SPECREPRO_PIPELINE_LOG=0 silences the per-stage cache log on stderr.";
+SPECREPRO_OBS_LOG=0 (or its legacy alias SPECREPRO_PIPELINE_LOG=0)
+silences the per-stage cache log on stderr.
+
+trace and metrics wrap any other command with telemetry enabled: trace
+writes a Chrome-trace JSON (chrome://tracing, ui.perfetto.dev) of the
+trainer/engine/pipeline spans, metrics dumps the counter registry.
+Every command also honors SPECREPRO_TRACE_OUT=FILE and
+SPECREPRO_METRICS_OUT=FILE to capture the same telemetry to files.";
 
 /// Dispatches a full argument vector (without the program name).
 ///
@@ -600,9 +733,16 @@ pub fn run(args: &[String]) -> Result<String> {
     let (command, rest) = args
         .split_first()
         .ok_or_else(|| CliError(format!("no command given\n\n{USAGE}")))?;
-    // `cache` takes a positional action, which `Flags::parse` rejects.
+    // `cache`, `trace`, and `metrics` take positional arguments, which
+    // `Flags::parse` rejects, so they dispatch before flag parsing.
     if command == "cache" {
         return cmd_cache(rest);
+    }
+    if command == "trace" {
+        return cmd_trace(rest);
+    }
+    if command == "metrics" {
+        return cmd_metrics(rest);
     }
     let flags = Flags::parse(rest)?;
     match command.as_str() {
@@ -691,9 +831,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("specrepro-cli-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ArtifactStore::open(&dir);
-        let stats = cache_stats(&store);
+        let stats = cache_stats(&store, false);
         assert!(stats.contains("datasets"));
         assert!(stats.contains("0 B"));
+        assert!(stats.contains("pipeline telemetry"));
+        let as_json = cache_stats(&store, true);
+        let parsed: serde_json::Value = serde_json::from_str(&as_json).unwrap();
+        assert!(parsed.get("pipeline").is_some(), "{as_json}");
         let cleared = cache_clear(&store).unwrap();
         assert!(cleared.contains("cleared 0 artifacts"));
     }
@@ -704,6 +848,124 @@ mod tests {
         assert_eq!(human_bytes(512), "512 B");
         assert_eq!(human_bytes(2048), "2.0 KiB");
         assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+
+    /// Serializes the tests that flip the global telemetry switch so
+    /// they do not reset each other's counters mid-flight.
+    static TELEMETRY: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A generation seed no earlier run has used, so the wrapped `fit`
+    /// below is a genuine cache miss: warm artifact-store hits skip
+    /// training entirely, which would leave the trainer counters and
+    /// spans these tests assert on at zero.
+    fn unique_seed() -> String {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+            .to_string()
+    }
+
+    #[test]
+    fn trace_and_metrics_reject_malformed_invocations() {
+        assert!(run(&argv(&["trace"])).unwrap_err().0.contains("usage"));
+        assert!(run(&argv(&["trace", "--out"]))
+            .unwrap_err()
+            .0
+            .contains("--out"));
+        let err = run(&argv(&["trace", "--out", "/tmp/t.json"])).unwrap_err();
+        assert!(err.0.contains("no command to trace"));
+        let err = run(&argv(&["metrics"])).unwrap_err();
+        assert!(err.0.contains("no command to measure"));
+        assert!(run(&argv(&["metrics", "--json"]))
+            .unwrap_err()
+            .0
+            .contains("no command"));
+    }
+
+    #[test]
+    fn metrics_wraps_a_fit_and_reports_trainer_counters() {
+        let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("obs.csv");
+        run(&argv(&[
+            "generate",
+            "--suite",
+            "cpu2006",
+            "--samples",
+            "400",
+            "--seed",
+            &unique_seed(),
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let human = run(&argv(&[
+            "metrics",
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        assert!(human.contains("training MAE"), "{human}");
+        assert!(human.contains("trainer.fits"), "{human}");
+        assert!(human.contains("pipeline."), "{human}");
+        let json = run(&argv(&[
+            "metrics",
+            "--json",
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed.get("counters").is_some(), "{json}");
+        assert!(!obskit::metrics_enabled(), "metrics left enabled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_writes_a_chrome_trace_of_the_wrapped_command() {
+        let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("trace.csv");
+        run(&argv(&[
+            "generate",
+            "--suite",
+            "cpu2006",
+            "--samples",
+            "400",
+            "--seed",
+            &unique_seed(),
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dir.join("trace.json");
+        let report = run(&argv(&[
+            "trace",
+            "--out",
+            out.to_str().unwrap(),
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        assert!(report.contains("trace events"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(parsed.get("traceEvents").is_some());
+        assert!(text.contains("m5.fit"), "trace lacks the fit span");
+        assert!(!obskit::tracing_enabled(), "tracing left enabled");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

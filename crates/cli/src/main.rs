@@ -3,6 +3,9 @@
 use std::io::Write as _;
 
 fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT / SPECREPRO_OBS enable
+    // telemetry for the whole invocation; files are written on drop.
+    let _obs = obskit::ObsSession::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match spec_cli::run(&args) {
         Ok(output) => {

@@ -133,6 +133,8 @@ pub struct CompiledTree {
 impl CompiledTree {
     /// Compiles a fitted tree. Equivalent to [`ModelTree::compile`].
     pub fn new(tree: &ModelTree) -> CompiledTree {
+        let _span = obskit::span("engine", "engine.compile");
+        obskit::metrics::incr(obskit::metrics::Metric::EngineCompilations);
         let n_nodes = tree.n_nodes();
         let mut compiled = CompiledTree {
             feature: Vec::with_capacity(n_nodes),
@@ -157,8 +159,17 @@ impl CompiledTree {
         // overlapping ancestor models still folds to few terms.
         let mut dense = [0.0f64; N_EVENTS];
         let mut path: Vec<(f64, &LinearModel)> = Vec::new(); // (weight, model)
-        compiled.flatten(tree, tree.root(), 1.0, k, 0, &mut path, &mut dense);
+        {
+            // The flatten pass is where Quinlan smoothing is actually
+            // materialized, so it carries the M5' smoothing-stage span.
+            let _fold = obskit::span("engine", "m5.smooth_fold");
+            compiled.flatten(tree, tree.root(), 1.0, k, 0, &mut path, &mut dense);
+        }
         debug_assert_eq!(compiled.feature.len(), n_nodes);
+        obskit::metrics::gauge_max(
+            obskit::metrics::Metric::EngineMaxDescentDepth,
+            compiled.depth as u64,
+        );
         compiled
     }
 
@@ -442,6 +453,8 @@ impl CompiledTree {
     /// pure function of its sample, so the output is **bit-identical**
     /// for every thread count.
     pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        let _span = obskit::span("engine", "engine.predict_batch");
+        self.count_batch(data.len(), obskit::metrics::Metric::EngineRowsPredicted);
         let kernel = BatchKernel::new(self, data.columns());
         let mut out = vec![0.0; data.len()];
         self.for_each_chunk(&mut out, |slice, start| {
@@ -459,6 +472,8 @@ impl CompiledTree {
     ///
     /// Panics if any index is out of range.
     pub fn predict_indices(&self, data: &Dataset, indices: &[u32]) -> Vec<f64> {
+        let _span = obskit::span("engine", "engine.predict_indices");
+        self.count_batch(indices.len(), obskit::metrics::Metric::EngineRowsPredicted);
         let kernel = BatchKernel::new(self, data.columns());
         let mut out = vec![0.0; indices.len()];
         self.for_each_chunk(&mut out, |slice, start| {
@@ -471,6 +486,8 @@ impl CompiledTree {
     /// linear-model number — the batch form of [`CompiledTree::classify`]
     /// behind the paper's Table II/IV profiles.
     pub fn classify_batch(&self, data: &Dataset) -> Vec<u32> {
+        let _span = obskit::span("engine", "engine.classify_batch");
+        self.count_batch(data.len(), obskit::metrics::Metric::EngineRowsClassified);
         let kernel = BatchKernel::new(self, data.columns());
         let mut out = vec![0u32; data.len()];
         self.for_each_chunk(&mut out, |slice, start| {
@@ -508,6 +525,17 @@ impl CompiledTree {
             Self::pack_rows(&mut pairs, block.len(), |j| row_of(b * BLOCK + j));
             self.predict_node(kernel, 0, &mut pairs, &mut scratch, &mut acc, block);
         }
+    }
+
+    /// Records one batch entry's telemetry: batch and block counts plus
+    /// the row-count distribution and rows under `rows_metric`. Outside
+    /// the row loops, so per-row cost is untouched.
+    fn count_batch(&self, rows: usize, rows_metric: obskit::metrics::Metric) {
+        use obskit::metrics::{add, incr, observe, Hist, Metric};
+        incr(Metric::EngineBatches);
+        add(Metric::EngineBlocks, rows.div_ceil(BLOCK) as u64);
+        add(rows_metric, rows as u64);
+        observe(Hist::EngineBatchRows, rows as u64);
     }
 
     /// Runs `body(chunk, chunk_start)` over `out` split into

@@ -333,6 +333,7 @@ pub(crate) fn fit_node_model(
         }
         match best_drop {
             Some((pos, m, s, adj)) => {
+                obskit::metrics::incr(obskit::metrics::Metric::TrainerAttributeEliminations);
                 active.remove(pos);
                 model = m;
                 sse = s;

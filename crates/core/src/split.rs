@@ -506,6 +506,11 @@ pub fn find_best_split(
     if total_sd <= 0.0 {
         return None;
     }
+    // One SDR evaluation = one attribute's threshold scan at this node.
+    obskit::metrics::add(
+        obskit::metrics::Metric::TrainerSplitEvaluations,
+        N_EVENTS as u64,
+    );
 
     let mut per_event: Vec<Option<Split>> = vec![None; N_EVENTS];
     let workers = n_threads.min(N_EVENTS);

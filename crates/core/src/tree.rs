@@ -264,6 +264,8 @@ impl ModelTree {
     /// Shared fitting core: grow, prune, and intern over a presorted
     /// arena whose index lists select the training rows.
     fn fit_arena(cols: &Columns<'_>, mut arena: SortArena, config: &M5Config) -> Result<ModelTree> {
+        let _fit_span = obskit::span("trainer", "m5.fit");
+        obskit::metrics::incr(obskit::metrics::Metric::TrainerFits);
         let root_set = arena.node_set();
         let n_training = root_set.len();
         let root_stats = TargetStats::compute(cols.cpi, &root_set.indices);
@@ -275,18 +277,24 @@ impl ModelTree {
         // original row ids even when training on a subset.
         let mut mask = vec![false; cols.cpi.len()];
         let mut scratch = vec![0u32; cols.cpi.len()];
-        let grown = grow(
-            cols,
-            root_set,
-            root_stats,
-            0,
-            sd_stop,
-            config,
-            budget,
-            &mut mask,
-            &mut scratch,
-        );
-        let pruned = prune(cols, grown, config, budget);
+        let grown = {
+            let _span = obskit::span("trainer", "m5.grow");
+            grow(
+                cols,
+                root_set,
+                root_stats,
+                0,
+                sd_stop,
+                config,
+                budget,
+                &mut mask,
+                &mut scratch,
+            )
+        };
+        let pruned = {
+            let _span = obskit::span("trainer", "m5.prune");
+            prune(cols, grown, config, budget)
+        };
 
         let mut tree = ModelTree {
             nodes: Vec::new(),
@@ -297,6 +305,7 @@ impl ModelTree {
         };
         let mut next_lm = 1;
         tree.root = tree.intern(pruned, &mut next_lm);
+        obskit::metrics::add(obskit::metrics::Metric::TrainerLeaves, (next_lm - 1) as u64);
         Ok(tree)
     }
 
@@ -687,9 +696,11 @@ fn grow(
     mask: &mut Vec<bool>,
     scratch: &mut Vec<u32>,
 ) -> GrownNode {
+    obskit::metrics::observe(obskit::metrics::Hist::TrainerNodeRows, set.len() as u64);
     let stop = set.len() < config.min_split || depth >= config.max_depth || stats.sd() < sd_stop;
     if !stop {
         if let Some(split) = find_best_split(cols, &set, config.min_leaf, &stats, budget) {
+            obskit::metrics::incr(obskit::metrics::Metric::TrainerNodesExpanded);
             let indices = set.indices.clone();
             let (left_indices, right_indices) = set.split_plan(cols, &split, mask);
             debug_assert!(!left_indices.is_empty() && !right_indices.is_empty());
@@ -858,6 +869,7 @@ fn prune(cols: &Columns<'_>, node: GrownNode, config: &M5Config, budget: usize) 
             let should_prune =
                 config.prune && node_error <= subtree_error * config.pruning_multiplier;
             if should_prune {
+                obskit::metrics::incr(obskit::metrics::Metric::TrainerPrunedSubtrees);
                 let model_attrs: BTreeSet<EventId> =
                     model.terms().iter().map(|(e, _)| *e).collect();
                 PrunedNode {

@@ -1,0 +1,235 @@
+//! Structured exporters: a JSON metrics dump and a Chrome-trace
+//! (`trace_event` format) span export.
+//!
+//! Both renderers are hand-rolled: the output grammar is tiny (objects,
+//! arrays, strings, and unsigned integers), and keeping obskit free of
+//! even the vendored serde keeps it loadable beneath every crate in the
+//! workspace. Strings pass through [`json_string`], which escapes per
+//! RFC 8259, so arbitrary field values (artifact keys, file paths,
+//! error messages) cannot corrupt the document.
+//!
+//! The trace export is the object form of the `trace_event` spec —
+//! `{"traceEvents": [...], ...}` — which both `chrome://tracing` and
+//! Perfetto load directly. After the buffered spans it appends one
+//! `"ph":"C"` counter sample per non-zero metric, so cache hit/miss
+//! and trainer counters are visible in the same timeline as the spans,
+//! and mirrors the full metrics dump under a `"metrics"` key (viewers
+//! ignore unknown top-level keys).
+
+use crate::metrics::{snapshot, Snapshot};
+use crate::span;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders `s` as a JSON string literal, with RFC 8259 escaping.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an event field list as a JSON object (for trace `args`).
+pub(crate) fn render_args(fields: &[(&str, &dyn std::fmt::Display)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{}",
+            json_string(key),
+            json_string(&value.to_string())
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn render_snapshot(out: &mut String, snap: &Snapshot) {
+    out.push_str("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_string(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_string(name));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, hist) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+            json_string(hist.name),
+            hist.count,
+            hist.sum
+        );
+        for (j, (bound, count)) in hist.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bound},{count}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+}
+
+/// The full metric registry as a JSON document:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+pub fn metrics_json() -> String {
+    let mut out = String::new();
+    render_snapshot(&mut out, &snapshot());
+    out
+}
+
+/// A human-readable metrics table (non-zero entries only), used by
+/// `specrepro metrics` and `specrepro cache stats`.
+pub fn metrics_human() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (name, value) in snap.counters.iter().chain(&snap.gauges) {
+        if *value > 0 {
+            let _ = writeln!(out, "  {name:<32} {value:>12}");
+        }
+    }
+    for hist in &snap.hists {
+        if hist.count > 0 {
+            let mean = hist.sum as f64 / hist.count as f64;
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>12} observations, mean {mean:.1}",
+                hist.name, hist.count
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no metrics recorded)\n");
+    }
+    out
+}
+
+/// The buffered spans and events as a Chrome `trace_event` document.
+///
+/// Loadable as-is by `chrome://tracing` and Perfetto. Counter samples
+/// for every non-zero metric are appended at the trace's end timestamp
+/// and the full metrics dump is mirrored under `"metrics"`.
+pub fn trace_json() -> String {
+    let snap = snapshot();
+    let mut out = String::from("{\"traceEvents\":[");
+    let (last_ts, dropped) = span::with_buffer(|buffer| {
+        let mut last_ts = 0u64;
+        for (i, event) in buffer.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            last_ts = last_ts.max(event.ts_us + event.dur_us);
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                json_string(event.name),
+                json_string(event.cat),
+                event.phase,
+                event.ts_us,
+                event.tid
+            );
+            if event.phase == 'X' {
+                let _ = write!(out, ",\"dur\":{}", event.dur_us);
+            }
+            if event.phase == 'i' {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !event.args.is_empty() {
+                let _ = write!(out, ",\"args\":{}", event.args);
+            }
+            out.push('}');
+        }
+        (last_ts, buffer.dropped)
+    });
+    let mut need_comma = !out.ends_with('[');
+    for (name, value) in snap.counters.iter().chain(&snap.gauges) {
+        if *value == 0 {
+            continue;
+        }
+        if need_comma {
+            out.push(',');
+        }
+        need_comma = true;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\
+             \"args\":{{\"value\":{value}}}}}",
+            json_string(name),
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{dropped},\"metrics\":"
+    );
+    render_snapshot(&mut out, &snap);
+    out.push('}');
+    out
+}
+
+/// Writes [`trace_json`] to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_trace(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, trace_json() + "\n")
+}
+
+/// Writes [`metrics_json`] to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_metrics(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, metrics_json() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("unicode ✓"), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn render_args_builds_objects() {
+        assert_eq!(render_args(&[]), "{}");
+        let rendered = render_args(&[("key", &"va\"lue"), ("n", &42)]);
+        assert_eq!(rendered, "{\"key\":\"va\\\"lue\",\"n\":\"42\"}");
+    }
+}

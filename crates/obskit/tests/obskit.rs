@@ -1,0 +1,265 @@
+//! Integration tests for the observability layer.
+//!
+//! obskit's registry and trace buffer are process-global, so every test
+//! that mutates them runs under one file-local mutex and resets state
+//! on entry; `cargo test` may still run this file in parallel with
+//! other test binaries, but no other binary in the workspace flips the
+//! global telemetry switch.
+
+use obskit::metrics::{self, Hist, Metric};
+use obskit::{export, span};
+use serde_json::Value;
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+/// Serializes the test and leaves telemetry fully reset on drop.
+struct TestGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl TestGuard {
+    fn acquire() -> TestGuard {
+        let guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+        obskit::set_enabled(false, false);
+        metrics::reset();
+        span::reset();
+        TestGuard(guard)
+    }
+}
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        obskit::set_enabled(false, false);
+        metrics::reset();
+        span::reset();
+    }
+}
+
+/// Object lookup that panics with the missing key's name.
+fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+    value
+        .get(key)
+        .unwrap_or_else(|| panic!("key {key:?} missing in {value:?}"))
+}
+
+fn as_array(value: &Value) -> &[Value] {
+    match value {
+        Value::Array(items) => items,
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> u64 {
+    field(value, key)
+        .as_u64()
+        .unwrap_or_else(|| panic!("key {key:?} is not a u64"))
+}
+
+fn str_field<'a>(value: &'a Value, key: &str) -> &'a str {
+    field(value, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("key {key:?} is not a string"))
+}
+
+fn parse(json: &str) -> Value {
+    serde_json::from_str(json).expect("export is valid JSON")
+}
+
+#[test]
+fn disabled_path_is_a_no_op() {
+    let _guard = TestGuard::acquire();
+    metrics::incr(Metric::TrainerFits);
+    metrics::add(Metric::PipelineBytesRead, 4096);
+    metrics::gauge_max(Metric::EngineMaxDescentDepth, 17);
+    metrics::observe(Hist::TrainerNodeRows, 1000);
+    {
+        let span = obskit::span("test", "ignored");
+        assert!(!span.is_active());
+    }
+    obskit::emit("test", "ignored.event", &[("k", &1)], false);
+
+    assert_eq!(metrics::value(Metric::TrainerFits), 0);
+    assert_eq!(metrics::value(Metric::PipelineBytesRead), 0);
+    assert_eq!(metrics::value(Metric::EngineMaxDescentDepth), 0);
+    assert_eq!(span::event_count(), 0);
+    let snap = metrics::snapshot();
+    assert!(snap.hists.iter().all(|h| h.count == 0));
+}
+
+#[test]
+fn counters_and_histograms_are_correct_under_concurrency() {
+    let _guard = TestGuard::acquire();
+    obskit::set_enabled(true, false);
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    metrics::incr(Metric::TrainerNodesExpanded);
+                    metrics::add(Metric::PipelineBytesWritten, 3);
+                    metrics::gauge_max(Metric::EngineMaxDescentDepth, t * PER_THREAD + i);
+                    metrics::observe(Hist::EngineBatchRows, i + 1);
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        metrics::value(Metric::TrainerNodesExpanded),
+        THREADS * PER_THREAD
+    );
+    assert_eq!(
+        metrics::value(Metric::PipelineBytesWritten),
+        3 * THREADS * PER_THREAD
+    );
+    assert_eq!(
+        metrics::value(Metric::EngineMaxDescentDepth),
+        THREADS * PER_THREAD - 1
+    );
+
+    let snap = metrics::snapshot();
+    let hist = snap
+        .hists
+        .iter()
+        .find(|h| h.name == "engine.batch_rows")
+        .expect("engine.batch_rows histogram");
+    assert_eq!(hist.count, THREADS * PER_THREAD);
+    // Sum of 1..=PER_THREAD per thread.
+    assert_eq!(hist.sum, THREADS * PER_THREAD * (PER_THREAD + 1) / 2);
+    // Every observation landed in exactly one bucket.
+    let bucket_total: u64 = hist.buckets.iter().map(|(_, c)| c).sum();
+    assert_eq!(bucket_total, hist.count);
+}
+
+#[test]
+fn span_nesting_survives_chrome_trace_export() {
+    let _guard = TestGuard::acquire();
+    obskit::set_enabled(true, true);
+
+    {
+        let _outer = obskit::span("trainer", "outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = obskit::span("trainer", "inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    let doc = parse(&export::trace_json());
+    let events = as_array(field(&doc, "traceEvents"));
+    let find = |name: &str| -> &Value {
+        events
+            .iter()
+            .find(|e| str_field(e, "name") == name && str_field(e, "ph") == "X")
+            .unwrap_or_else(|| panic!("span {name:?} in export"))
+    };
+    let outer = find("outer");
+    let inner = find("inner");
+
+    // Spans drop inner-first, so buffer order is inner, outer; the
+    // export must preserve the nesting via timestamps: outer's
+    // [ts, ts+dur] interval contains inner's.
+    let interval = |e: &Value| {
+        let ts = u64_field(e, "ts");
+        (ts, ts + u64_field(e, "dur"))
+    };
+    let (outer_start, outer_end) = interval(outer);
+    let (inner_start, inner_end) = interval(inner);
+    assert!(outer_start <= inner_start, "outer starts before inner");
+    assert!(inner_end <= outer_end, "inner ends before outer");
+    // Same thread → same tid row in the viewer.
+    assert_eq!(u64_field(outer, "tid"), u64_field(inner, "tid"));
+    assert_eq!(str_field(outer, "cat"), "trainer");
+    assert_eq!(u64_field(&doc, "droppedEvents"), 0);
+}
+
+#[test]
+fn trace_export_carries_counter_samples_and_metrics_mirror() {
+    let _guard = TestGuard::acquire();
+    obskit::set_enabled(true, true);
+
+    metrics::add(Metric::PipelineDatasetHits, 7);
+    metrics::observe(Hist::PipelineCodecEncodeNs, 1500);
+    {
+        let _span = obskit::span("pipeline", "dataset");
+    }
+
+    let doc = parse(&export::trace_json());
+    let events = as_array(field(&doc, "traceEvents"));
+    let counter = events
+        .iter()
+        .find(|e| str_field(e, "ph") == "C" && str_field(e, "name") == "pipeline.dataset_hits")
+        .expect("counter sample for pipeline.dataset_hits");
+    assert_eq!(u64_field(field(counter, "args"), "value"), 7);
+
+    // Full registry mirrored under "metrics".
+    let mirrored = field(&doc, "metrics");
+    assert_eq!(
+        u64_field(field(mirrored, "counters"), "pipeline.dataset_hits"),
+        7
+    );
+    let hist = field(field(mirrored, "histograms"), "pipeline.codec_encode_ns");
+    assert_eq!(u64_field(hist, "count"), 1);
+    assert_eq!(u64_field(hist, "sum"), 1500);
+}
+
+#[test]
+fn instant_events_render_escaped_args() {
+    let _guard = TestGuard::acquire();
+    obskit::set_enabled(false, true);
+
+    let key = "ds-a1b2\"quote";
+    obskit::emit(
+        "pipeline",
+        "dataset.hit",
+        &[("key", &key), ("rows", &512)],
+        false,
+    );
+
+    let doc = parse(&export::trace_json());
+    let events = as_array(field(&doc, "traceEvents"));
+    let event = events
+        .iter()
+        .find(|e| str_field(e, "name") == "dataset.hit")
+        .expect("instant event present");
+    assert_eq!(str_field(event, "ph"), "i");
+    let args = field(event, "args");
+    assert_eq!(str_field(args, "key"), key);
+    assert_eq!(str_field(args, "rows"), "512");
+}
+
+#[test]
+fn metrics_json_parses_and_covers_the_registry() {
+    let _guard = TestGuard::acquire();
+    obskit::set_enabled(true, false);
+    metrics::incr(Metric::PmuRotations);
+
+    let doc = parse(&export::metrics_json());
+    let counters = field(&doc, "counters");
+    assert_eq!(u64_field(counters, "pmu.rotations"), 1);
+    // Dotted namespaces from every instrumented subsystem.
+    let Value::Object(entries) = counters else {
+        panic!("counters is not an object");
+    };
+    for prefix in ["trainer.", "engine.", "pipeline.", "pmu."] {
+        assert!(
+            entries.iter().any(|(k, _)| k.starts_with(prefix)),
+            "no counters under {prefix}"
+        );
+    }
+    assert!(matches!(field(&doc, "histograms"), Value::Object(_)));
+}
+
+#[test]
+fn session_from_env_is_inert_without_variables() {
+    let _guard = TestGuard::acquire();
+    // The test runner environment never sets the telemetry variables
+    // (CI sets them only for the dedicated trace-smoke step).
+    assert!(std::env::var("SPECREPRO_TRACE_OUT").is_err());
+    let session = obskit::ObsSession::from_env();
+    assert!(!obskit::metrics_enabled());
+    assert!(!obskit::tracing_enabled());
+    let written = session.finish().expect("finish never fails when inert");
+    assert!(written.is_empty());
+}

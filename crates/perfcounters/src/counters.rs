@@ -92,9 +92,14 @@ impl CounterBank {
     /// binomial draw (normal approximation), then extrapolated to the full
     /// interval. CPI passes through unchanged (fixed counters).
     pub fn measure<R: Rng + ?Sized>(&self, truth: &Sample, rng: &mut R) -> Sample {
+        obskit::metrics::incr(obskit::metrics::Metric::PmuIntervals);
         if !self.config.multiplexing_noise {
             return truth.clone();
         }
+        obskit::metrics::add(
+            obskit::metrics::Metric::PmuRotations,
+            self.rotation_slots() as u64,
+        );
         let window = self.observation_window() as f64;
         let mut measured = Sample::zeros(truth.cpi());
         for e in EventId::ALL {

@@ -60,6 +60,16 @@ pub struct TransferSplit {
     pub omp_rest: Arc<Dataset>,
 }
 
+/// Lazy `{:.1?}` rendering of a duration for structured event fields —
+/// nothing is formatted unless a log/trace sink is active.
+struct Elapsed(std::time::Duration);
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1?}", self.0)
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     datasets: HashMap<u128, Arc<Dataset>>,
@@ -79,13 +89,11 @@ pub struct PipelineContext {
 impl PipelineContext {
     /// A context over the environment-selected disk store (see
     /// [`ArtifactStore::from_env`]). Stage logging is enabled unless
-    /// `SPECREPRO_PIPELINE_LOG=0`.
+    /// `SPECREPRO_OBS_LOG` — or its legacy alias
+    /// `SPECREPRO_PIPELINE_LOG` — is `0`/`off`.
     pub fn from_env() -> Self {
-        let logging = !matches!(
-            std::env::var("SPECREPRO_PIPELINE_LOG").as_deref(),
-            Ok("0") | Ok("off")
-        );
-        PipelineContext::with_store(ArtifactStore::from_env()).with_logging(logging)
+        PipelineContext::with_store(ArtifactStore::from_env())
+            .with_logging(obskit::log_env_enabled())
     }
 
     /// A context with no disk store: memoizes in memory only. Used by
@@ -132,10 +140,13 @@ impl PipelineContext {
         self.inner.lock().expect("pipeline lock").counters
     }
 
-    fn log(&self, args: std::fmt::Arguments<'_>) {
-        if self.logging {
-            eprintln!("[pipeline] {args}");
-        }
+    /// Emits one structured pipeline event: an instant event into the
+    /// obskit trace buffer whenever tracing is enabled, plus a
+    /// `[pipeline] name k=v` stderr line when this context's logging is
+    /// on (the `SPECREPRO_PIPELINE_LOG` surface). Field values are only
+    /// rendered when a sink is active.
+    fn event(&self, name: &'static str, fields: &[(&str, &dyn std::fmt::Display)]) {
+        obskit::emit("pipeline", name, fields, self.logging);
     }
 
     fn memo_dataset(&self, key: Fingerprint) -> Option<Arc<Dataset>> {
@@ -158,6 +169,7 @@ impl PipelineContext {
 
     /// Tries the disk store, counting loads and corrupt evictions.
     fn load_dataset(&self, key: Fingerprint, what: &str) -> Option<Dataset> {
+        use obskit::metrics::{incr, Metric};
         let store = self.store.as_ref()?;
         let start = Instant::now();
         match store.load_dataset(key) {
@@ -165,10 +177,15 @@ impl PipelineContext {
                 let mut inner = self.inner.lock().expect("pipeline lock");
                 inner.counters.datasets_loaded += 1;
                 drop(inner);
-                self.log(format_args!(
-                    "dataset hit  {key} [{what}] loaded in {:.1?}",
-                    start.elapsed()
-                ));
+                incr(Metric::PipelineDatasetHits);
+                self.event(
+                    "dataset.hit",
+                    &[
+                        ("key", &key),
+                        ("what", &what),
+                        ("elapsed", &Elapsed(start.elapsed())),
+                    ],
+                );
                 Some(data)
             }
             Err(None) => None,
@@ -176,15 +193,18 @@ impl PipelineContext {
                 let mut inner = self.inner.lock().expect("pipeline lock");
                 inner.counters.corrupt_evicted += 1;
                 drop(inner);
-                self.log(format_args!(
-                    "dataset evict {key} [{what}]: {reason}; recomputing"
-                ));
+                incr(Metric::PipelineCorruptEvictions);
+                self.event(
+                    "dataset.evict",
+                    &[("key", &key), ("what", &what), ("reason", &reason)],
+                );
                 None
             }
         }
     }
 
     fn load_tree(&self, key: Fingerprint, what: &str) -> Option<ModelTree> {
+        use obskit::metrics::{incr, Metric};
         let store = self.store.as_ref()?;
         let start = Instant::now();
         match store.load_tree(key) {
@@ -192,10 +212,15 @@ impl PipelineContext {
                 let mut inner = self.inner.lock().expect("pipeline lock");
                 inner.counters.trees_loaded += 1;
                 drop(inner);
-                self.log(format_args!(
-                    "tree    hit  {key} [{what}] loaded in {:.1?}",
-                    start.elapsed()
-                ));
+                incr(Metric::PipelineTreeHits);
+                self.event(
+                    "tree.hit",
+                    &[
+                        ("key", &key),
+                        ("what", &what),
+                        ("elapsed", &Elapsed(start.elapsed())),
+                    ],
+                );
                 Some(tree)
             }
             Err(None) => None,
@@ -203,9 +228,11 @@ impl PipelineContext {
                 let mut inner = self.inner.lock().expect("pipeline lock");
                 inner.counters.corrupt_evicted += 1;
                 drop(inner);
-                self.log(format_args!(
-                    "tree    evict {key} [{what}]: {reason}; recomputing"
-                ));
+                incr(Metric::PipelineCorruptEvictions);
+                self.event(
+                    "tree.evict",
+                    &[("key", &key), ("what", &what), ("reason", &reason)],
+                );
                 None
             }
         }
@@ -216,7 +243,10 @@ impl PipelineContext {
     fn persist_dataset(&self, key: Fingerprint, data: &Dataset, what: &str) {
         if let Some(store) = &self.store {
             if let Err(e) = store.store_dataset(key, data) {
-                self.log(format_args!("dataset store {key} [{what}] failed: {e}"));
+                self.event(
+                    "dataset.store_failed",
+                    &[("key", &key), ("what", &what), ("error", &e)],
+                );
             }
         }
     }
@@ -224,7 +254,10 @@ impl PipelineContext {
     fn persist_tree(&self, key: Fingerprint, tree: &ModelTree, what: &str) {
         if let Some(store) = &self.store {
             if let Err(e) = store.store_tree(key, tree) {
-                self.log(format_args!("tree    store {key} [{what}] failed: {e}"));
+                self.event(
+                    "tree.store_failed",
+                    &[("key", &key), ("what", &what), ("error", &e)],
+                );
             }
         }
     }
@@ -257,15 +290,23 @@ impl PipelineContext {
             return Ok(self.insert_dataset(key, data));
         }
         let start = Instant::now();
-        let data = spec.compute(self.gen_threads)?;
+        let data = {
+            let _span = obskit::span("pipeline", "pipeline.generate");
+            spec.compute(self.gen_threads)?
+        };
         {
             let mut inner = self.inner.lock().expect("pipeline lock");
             inner.counters.datasets_generated += 1;
         }
-        self.log(format_args!(
-            "dataset miss {key} [{what}] generated in {:.1?}",
-            start.elapsed()
-        ));
+        obskit::metrics::incr(obskit::metrics::Metric::PipelineDatasetMisses);
+        self.event(
+            "dataset.miss",
+            &[
+                ("key", &key),
+                ("what", &what),
+                ("elapsed", &Elapsed(start.elapsed())),
+            ],
+        );
         self.persist_dataset(key, &data, &what);
         Ok(self.insert_dataset(key, data))
     }
@@ -290,15 +331,19 @@ impl PipelineContext {
         }
         let base = self.dataset(&spec.base)?;
         let start = Instant::now();
-        let (first, second) = spec.compute(&base);
+        let (first, second) = {
+            let _span = obskit::span("pipeline", "pipeline.split");
+            spec.compute(&base)
+        };
         {
             let mut inner = self.inner.lock().expect("pipeline lock");
             inner.counters.splits_computed += 1;
         }
-        self.log(format_args!(
-            "split   miss [{what}] computed in {:.1?}",
-            start.elapsed()
-        ));
+        obskit::metrics::incr(obskit::metrics::Metric::PipelineSplitsComputed);
+        self.event(
+            "split.miss",
+            &[("what", &what), ("elapsed", &Elapsed(start.elapsed()))],
+        );
         self.persist_dataset(keys[0], &first, &what);
         self.persist_dataset(keys[1], &second, &what);
         Ok((
@@ -332,15 +377,19 @@ impl PipelineContext {
         let cpu = self.dataset(&spec.cpu)?;
         let omp = self.dataset(&spec.omp)?;
         let start = Instant::now();
-        let parts = spec.compute(&cpu, &omp);
+        let parts = {
+            let _span = obskit::span("pipeline", "pipeline.split");
+            spec.compute(&cpu, &omp)
+        };
         {
             let mut inner = self.inner.lock().expect("pipeline lock");
             inner.counters.splits_computed += 1;
         }
-        self.log(format_args!(
-            "split   miss [{what}] computed in {:.1?}",
-            start.elapsed()
-        ));
+        obskit::metrics::incr(obskit::metrics::Metric::PipelineSplitsComputed);
+        self.event(
+            "split.miss",
+            &[("what", &what), ("elapsed", &Elapsed(start.elapsed()))],
+        );
         let [cpu_train, cpu_rest, omp_train, omp_rest] = parts;
         for (key, part) in keys
             .iter()
@@ -446,15 +495,23 @@ impl PipelineContext {
         what: &str,
     ) -> Result<Arc<ModelTree>> {
         let start = Instant::now();
-        let tree = ModelTree::fit(data, config).map_err(PipelineError::from)?;
+        let tree = {
+            let _span = obskit::span("pipeline", "pipeline.fit");
+            ModelTree::fit(data, config).map_err(PipelineError::from)?
+        };
         {
             let mut inner = self.inner.lock().expect("pipeline lock");
             inner.counters.trees_fitted += 1;
         }
-        self.log(format_args!(
-            "tree    miss {key} [{what}] fitted in {:.1?}",
-            start.elapsed()
-        ));
+        obskit::metrics::incr(obskit::metrics::Metric::PipelineTreeMisses);
+        self.event(
+            "tree.miss",
+            &[
+                ("key", &key),
+                ("what", &what),
+                ("elapsed", &Elapsed(start.elapsed())),
+            ],
+        );
         self.persist_tree(key, &tree, what);
         Ok(self.insert_tree(key, tree))
     }

@@ -118,7 +118,13 @@ impl ArtifactStore {
         let tmp = dir.join(format!(".{}.tmp.{}", key.to_hex(), std::process::id()));
         std::fs::write(&tmp, bytes)?;
         match std::fs::rename(&tmp, &path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                obskit::metrics::add(
+                    obskit::metrics::Metric::PipelineBytesWritten,
+                    bytes.len() as u64,
+                );
+                Ok(())
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
@@ -128,7 +134,12 @@ impl ArtifactStore {
 
     /// Reads the raw bytes under `key`, or `None` when absent.
     fn get(&self, kind: ArtifactKind, key: Fingerprint) -> Option<Vec<u8>> {
-        std::fs::read(self.path_for(kind, key)).ok()
+        let bytes = std::fs::read(self.path_for(kind, key)).ok()?;
+        obskit::metrics::add(
+            obskit::metrics::Metric::PipelineBytesRead,
+            bytes.len() as u64,
+        );
+        Some(bytes)
     }
 
     /// Removes the artifact under `key` (used to evict corrupt files).
@@ -142,7 +153,10 @@ impl ArtifactStore {
     ///
     /// Propagates I/O failures (safe to ignore; the store is a cache).
     pub fn store_dataset(&self, key: Fingerprint, data: &Dataset) -> std::io::Result<()> {
-        self.put(ArtifactKind::Dataset, key, &codec::encode_dataset(data))
+        let bytes = obskit::metrics::time(obskit::metrics::Hist::PipelineCodecEncodeNs, || {
+            codec::encode_dataset(data)
+        });
+        self.put(ArtifactKind::Dataset, key, &bytes)
     }
 
     /// Loads the dataset under `key`. Corrupt or cross-version files
@@ -151,7 +165,10 @@ impl ArtifactStore {
     #[allow(clippy::result_large_err)]
     pub fn load_dataset(&self, key: Fingerprint) -> Result<Dataset, Option<CodecError>> {
         let bytes = self.get(ArtifactKind::Dataset, key).ok_or(None)?;
-        codec::decode_dataset(&bytes).map_err(|e| {
+        obskit::metrics::time(obskit::metrics::Hist::PipelineCodecDecodeNs, || {
+            codec::decode_dataset(&bytes)
+        })
+        .map_err(|e| {
             self.evict(ArtifactKind::Dataset, key);
             Some(e)
         })
@@ -163,7 +180,10 @@ impl ArtifactStore {
     ///
     /// Propagates I/O failures (safe to ignore; the store is a cache).
     pub fn store_tree(&self, key: Fingerprint, tree: &ModelTree) -> std::io::Result<()> {
-        self.put(ArtifactKind::Tree, key, &codec::encode_tree(tree))
+        let bytes = obskit::metrics::time(obskit::metrics::Hist::PipelineCodecEncodeNs, || {
+            codec::encode_tree(tree)
+        });
+        self.put(ArtifactKind::Tree, key, &bytes)
     }
 
     /// Loads the model tree under `key`. Corrupt or cross-version files
@@ -172,7 +192,10 @@ impl ArtifactStore {
     #[allow(clippy::result_large_err)]
     pub fn load_tree(&self, key: Fingerprint) -> Result<ModelTree, Option<CodecError>> {
         let bytes = self.get(ArtifactKind::Tree, key).ok_or(None)?;
-        codec::decode_tree(&bytes).map_err(|e| {
+        obskit::metrics::time(obskit::metrics::Hist::PipelineCodecDecodeNs, || {
+            codec::decode_tree(&bytes)
+        })
+        .map_err(|e| {
             self.evict(ArtifactKind::Tree, key);
             Some(e)
         })

@@ -1,0 +1,111 @@
+//! Telemetry-determinism verification: obskit is write-only.
+//!
+//! The observability layer's core contract is that enabling metrics and
+//! span tracing changes **nothing** about what the system computes:
+//! generated datasets, fitted trees, codec bytes, and artifact
+//! fingerprints must be bit-identical whether telemetry is off (the
+//! default) or fully on. These tests run the instrumented paths both
+//! ways and compare at the bytes level — the same standard the
+//! pipeline's cache-identity suite enforces.
+
+use modeltree::{M5Config, ModelTree};
+use pipeline::{codec, DatasetSpec, SuiteKind};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global telemetry switch.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+struct Guard;
+
+impl Guard {
+    fn acquire() -> (std::sync::MutexGuard<'static, ()>, Guard) {
+        let lock = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+        obskit::set_enabled(false, false);
+        obskit::metrics::reset();
+        obskit::span::reset();
+        (lock, Guard)
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        obskit::set_enabled(false, false);
+        obskit::metrics::reset();
+        obskit::span::reset();
+    }
+}
+
+#[test]
+fn datasets_and_fingerprints_are_bit_identical_with_telemetry_on() {
+    let _guard = Guard::acquire();
+    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 2_000, 7);
+
+    let fingerprint_off = spec.fingerprint();
+    let data_off = spec.compute(1).expect("generation succeeds");
+    let bytes_off = codec::encode_dataset(&data_off);
+
+    obskit::set_enabled(true, true);
+    let fingerprint_on = spec.fingerprint();
+    let data_on = spec.compute(1).expect("generation succeeds");
+    let bytes_on = codec::encode_dataset(&data_on);
+    obskit::set_enabled(false, false);
+
+    assert_eq!(
+        fingerprint_off, fingerprint_on,
+        "telemetry leaked into the dataset fingerprint"
+    );
+    assert_eq!(
+        bytes_off, bytes_on,
+        "telemetry changed the encoded dataset bytes"
+    );
+    // The telemetry pass actually recorded something — this is not a
+    // vacuous comparison between two disabled runs.
+    assert!(
+        obskit::metrics::value(obskit::metrics::Metric::PmuIntervals) > 0,
+        "telemetry-on pass recorded no PMU intervals"
+    );
+}
+
+#[test]
+fn trees_and_their_codec_bytes_are_bit_identical_with_telemetry_on() {
+    let _guard = Guard::acquire();
+    let spec = DatasetSpec::new(SuiteKind::Omp2001, 2_000, 11);
+    let data = spec.compute(1).expect("generation succeeds");
+    let config = M5Config::default().with_min_leaf(20);
+
+    let tree_off = ModelTree::fit(&data, &config).expect("fit succeeds");
+    let bytes_off = codec::encode_tree(&tree_off);
+
+    obskit::set_enabled(true, true);
+    let tree_on = ModelTree::fit(&data, &config).expect("fit succeeds");
+    let bytes_on = codec::encode_tree(&tree_on);
+    obskit::set_enabled(false, false);
+
+    assert_eq!(
+        serde_json::to_string(&tree_off).unwrap(),
+        serde_json::to_string(&tree_on).unwrap(),
+        "telemetry changed the fitted tree"
+    );
+    assert_eq!(
+        bytes_off, bytes_on,
+        "telemetry changed the tree codec bytes"
+    );
+    assert!(
+        obskit::metrics::value(obskit::metrics::Metric::TrainerNodesExpanded) > 0,
+        "telemetry-on fit recorded no expanded nodes"
+    );
+
+    // Predictions through the compiled engine are bit-identical too.
+    let engine_off = tree_off.compile();
+    let pred_off = engine_off.predict_batch(&data);
+    obskit::set_enabled(true, true);
+    let pred_on = tree_on.compile().predict_batch(&data);
+    obskit::set_enabled(false, false);
+    assert!(
+        pred_off
+            .iter()
+            .zip(&pred_on)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "telemetry changed compiled predictions"
+    );
+}
