@@ -523,8 +523,9 @@ pub fn cmd_cache(args: &[String]) -> Result<String> {
 }
 
 /// On-disk store counts plus this process's pipeline telemetry (hit
-/// ratio, bytes moved, corrupt evictions) — the latter is all zeros
-/// unless metrics were enabled and pipeline work ran in-process, e.g.
+/// ratio, bytes moved, corrupt evictions) and engine row accounting
+/// (vector-lane vs scalar-tail rows) — the telemetry is all zeros
+/// unless metrics were enabled and the work ran in-process, e.g.
 /// under `specrepro metrics`.
 fn cache_stats(store: &ArtifactStore, json: bool) -> String {
     let stats = store.stats();
@@ -541,6 +542,8 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
     let bytes_read = metric("pipeline.bytes_read");
     let bytes_written = metric("pipeline.bytes_written");
     let evictions = metric("pipeline.corrupt_evictions");
+    let simd_rows = metric("engine.simd_rows");
+    let tail_rows = metric("engine.scalar_tail_rows");
     if json {
         return format!(
             concat!(
@@ -549,7 +552,8 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
                 "\"trees\":{{\"files\":{},\"bytes\":{}}},",
                 "\"total\":{{\"files\":{},\"bytes\":{}}},",
                 "\"pipeline\":{{\"hits\":{},\"misses\":{},\"hit_ratio\":{:.4},",
-                "\"bytes_read\":{},\"bytes_written\":{},\"corrupt_evictions\":{}}}}}"
+                "\"bytes_read\":{},\"bytes_written\":{},\"corrupt_evictions\":{}}},",
+                "\"engine\":{{\"simd_rows\":{},\"scalar_tail_rows\":{}}}}}"
             ),
             obskit::export::json_string(&store.root().display().to_string()),
             stats.datasets,
@@ -564,11 +568,14 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
             bytes_read,
             bytes_written,
             evictions,
+            simd_rows,
+            tail_rows,
         );
     }
     format!(
         "artifact store {}\n  datasets  {:>5}  {:>10}\n  trees     {:>5}  {:>10}\n  total     {:>5}  {:>10}\n\
-         pipeline telemetry (this process)\n  lookups   {:>5}  hit ratio {:.1}%\n  read      {:>10}  written {:>10}\n  corrupt evictions {}",
+         pipeline telemetry (this process)\n  lookups   {:>5}  hit ratio {:.1}%\n  read      {:>10}  written {:>10}\n  corrupt evictions {}\n\
+         engine rows (this process)\n  simd      {:>10}  scalar tail {:>10}",
         store.root().display(),
         stats.datasets,
         human_bytes(stats.dataset_bytes),
@@ -581,6 +588,8 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
         human_bytes(bytes_read),
         human_bytes(bytes_written),
         evictions,
+        simd_rows,
+        tail_rows,
     )
 }
 
@@ -835,9 +844,13 @@ mod tests {
         assert!(stats.contains("datasets"));
         assert!(stats.contains("0 B"));
         assert!(stats.contains("pipeline telemetry"));
+        assert!(stats.contains("engine rows"));
         let as_json = cache_stats(&store, true);
         let parsed: serde_json::Value = serde_json::from_str(&as_json).unwrap();
         assert!(parsed.get("pipeline").is_some(), "{as_json}");
+        let engine = parsed.get("engine").expect("engine section");
+        assert!(engine.get("simd_rows").is_some(), "{as_json}");
+        assert!(engine.get("scalar_tail_rows").is_some(), "{as_json}");
         let cleared = cache_clear(&store).unwrap();
         assert!(cleared.contains("cleared 0 artifacts"));
     }

@@ -49,10 +49,11 @@ pub mod config;
 pub mod crossval;
 pub mod display;
 pub mod linreg;
+pub mod simd;
 pub mod split;
 pub mod tree;
 
-pub use compiled::CompiledTree;
+pub use compiled::{CompiledTree, Precision};
 pub use config::M5Config;
 pub use crossval::{k_fold, CrossValidation};
 pub use linreg::LinearModel;

@@ -44,6 +44,7 @@
 //! replaces, so one thread and many threads produce bit-identical
 //! splits.
 
+use crate::simd::{self, F64x4};
 use perfcounters::events::{EventId, N_EVENTS};
 use perfcounters::Dataset;
 
@@ -481,6 +482,191 @@ fn scan_attribute(
     }
 }
 
+/// Candidate windows narrower than this run the scalar scan: the
+/// vectorized scan's prefix-materialization pass only pays off once a
+/// few full lanes of candidates amortize it.
+const MIN_SIMD_SCAN: usize = 16;
+
+thread_local! {
+    /// Reused per-thread buffers for [`scan_attribute_simd`]: the
+    /// running `(Σy, Σy²)` prefix sums and the candidate window's
+    /// attribute values (one extra slot for each candidate's right
+    /// neighbor). Thread-local because [`find_best_split`] fans
+    /// attribute scans out to scoped workers.
+    static SCAN_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Vectorized [`scan_attribute`], **bit-identical by construction**.
+///
+/// The scalar scan is a loop-carried recurrence (the prefix sums) glued
+/// to per-candidate arithmetic that is embarrassingly parallel. The
+/// vectorized form splits them: one sequential pass materializes the
+/// prefix sums and candidate values into flat arrays — the *same*
+/// additions in the *same* order as the scalar scan, preserving its
+/// association exactly — and the candidate arithmetic then runs
+/// four-wide over those arrays. Every lane operation (mul, sub, max,
+/// sqrt, compare) is the exactly rounded IEEE operation the scalar
+/// expressions perform, candidates at equal-valued positions are
+/// disqualified by an `+∞` select exactly where the scalar scan
+/// `continue`s, and the winner is recovered as the **lexicographic
+/// minimum of `(w, position)`** over the per-lane running bests plus
+/// the scalar tail — provably the scalar leftmost-strict-`<` winner:
+/// each lane keeps its earliest minimum, so the global earliest
+/// position achieving the global minimum `w` is always among the
+/// reduced candidates.
+fn scan_attribute_simd(
+    col: &[f64],
+    cpi: &[f64],
+    seg: &[u32],
+    event: EventId,
+    min_leaf: usize,
+    stats: &TargetStats,
+    total_sd: f64,
+) -> Option<Split> {
+    let n = seg.len();
+    if col[seg[0] as usize] == col[seg[n - 1] as usize] {
+        return None; // constant column
+    }
+    let lo = min_leaf.saturating_sub(1);
+    let hi = (n - min_leaf).min(n - 1);
+    let m = hi - lo;
+    if m < MIN_SIMD_SCAN {
+        return scan_attribute(col, cpi, seg, event, min_leaf, stats, total_sd);
+    }
+
+    let total_sum = stats.sum;
+    let total_sum_sq = stats.sum_sq;
+    let nf = n as f64;
+    let floor = 1e-12 * total_sd;
+    let bound = nf * (total_sd - floor);
+
+    SCAN_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (ps, pss, vals) = &mut *scratch;
+        if ps.len() < m {
+            ps.resize(m, 0.0);
+            pss.resize(m, 0.0);
+        }
+        if vals.len() < m + 1 {
+            vals.resize(m + 1, 0.0);
+        }
+
+        // Sequential prefix pass: identical accumulation order (and
+        // gather prefetching) to the scalar scan, stored after the
+        // position's own sample joins the left side — the state the
+        // scalar loop holds when it evaluates that candidate.
+        let mut left_sum = 0.0;
+        let mut left_sum_sq = 0.0;
+        for (k, &i) in seg[..lo].iter().enumerate() {
+            if k + PREFETCH_AHEAD < n {
+                prefetch(cpi, seg[k + PREFETCH_AHEAD]);
+            }
+            let y = cpi[i as usize];
+            left_sum += y;
+            left_sum_sq += y * y;
+        }
+        for j in 0..m {
+            let i = lo + j;
+            if i + PREFETCH_AHEAD < n {
+                let ahead = seg[i + PREFETCH_AHEAD];
+                prefetch(cpi, ahead);
+                prefetch(col, ahead);
+            }
+            let y = cpi[seg[i] as usize];
+            left_sum += y;
+            left_sum_sq += y * y;
+            ps[j] = left_sum;
+            pss[j] = left_sum_sq;
+            vals[j] = col[seg[i] as usize];
+        }
+        vals[m] = col[seg[hi] as usize];
+
+        // Lane-parallel candidate evaluation. Every lane expression
+        // mirrors one scalar expression: `np1` is the exact integer
+        // `(i + 1) as f64` (integer-valued f64 adds below 2^53 are
+        // exact), so `nf − np1` is exactly `(n − i − 1) as f64`, and
+        // the products/differences/roots are the scalar ops per lane.
+        let iota = F64x4([0.0, 1.0, 2.0, 3.0]);
+        let zero = F64x4::splat(0.0);
+        let inf = F64x4::splat(f64::INFINITY);
+        let nfv = F64x4::splat(nf);
+        let ts = F64x4::splat(total_sum);
+        let tss = F64x4::splat(total_sum_sq);
+        let mut bw = F64x4::splat(bound);
+        // Position sentinel: a lane's position is only read when its
+        // best `w` dropped below `bound`, which requires a select.
+        let mut bpos = F64x4::splat(f64::INFINITY);
+        let lanes = m - m % F64x4::LANES;
+        let mut j = 0;
+        while j < lanes {
+            let np1 = F64x4::splat((lo + j + 1) as f64).add(iota);
+            let ls = F64x4::from_slice(&ps[j..]);
+            let lss = F64x4::from_slice(&pss[j..]);
+            let rs = ts.sub(ls);
+            let rss = tss.sub(lss);
+            let scaled_l = np1.mul(lss).sub(ls.mul(ls)).max(zero);
+            let scaled_r = nfv.sub(np1).mul(rss).sub(rs.mul(rs)).max(zero);
+            let w = scaled_l.sqrt().add(scaled_r.sqrt());
+            // A threshold must separate distinct values; equal-valued
+            // positions get +∞ and can never win the strict `<`.
+            let valid = F64x4::from_slice(&vals[j..]).ne(F64x4::from_slice(&vals[j + 1..]));
+            let w = F64x4::select(valid, w, inf);
+            let better = w.lt(bw);
+            bw = F64x4::select(better, w, bw);
+            bpos = F64x4::select(better, F64x4::splat(j as f64).add(iota), bpos);
+            j += F64x4::LANES;
+        }
+
+        // Scalar tail over the last partial lane, same expressions.
+        let mut best_w = bound;
+        let mut best_pos = usize::MAX;
+        for j in lanes..m {
+            if vals[j] == vals[j + 1] {
+                continue;
+            }
+            let i = lo + j;
+            let ls = ps[j];
+            let lss = pss[j];
+            let rs = total_sum - ls;
+            let rss = total_sum_sq - lss;
+            let scaled_l = ((i + 1) as f64 * lss - ls * ls).max(0.0);
+            let scaled_r = ((n - i - 1) as f64 * rss - rs * rs).max(0.0);
+            let roots = paired_sqrt(scaled_l, scaled_r);
+            let w = roots[0] + roots[1];
+            if w < best_w {
+                best_w = w;
+                best_pos = j;
+            }
+        }
+
+        // Lexicographic (w, position) reduction over the lane bests:
+        // deterministic fixed order, equivalent to the scalar
+        // leftmost-winner rule.
+        for k in 0..F64x4::LANES {
+            let w = bw.0[k];
+            if w < bound {
+                let p = bpos.0[k] as usize;
+                if w < best_w || (w == best_w && p < best_pos) {
+                    best_w = w;
+                    best_pos = p;
+                }
+            }
+        }
+
+        if best_pos == usize::MAX {
+            return None;
+        }
+        Some(Split {
+            event,
+            // The sorted-order invariant `value == col[seg[i]]` makes
+            // this the scalar scan's `0.5 * (value + next_value)`.
+            threshold: 0.5 * (vals[best_pos] + vals[best_pos + 1]),
+            sdr: total_sd - best_w / nf,
+        })
+    })
+}
+
 /// Finds the SDR-maximizing split over all attributes of a presorted
 /// node, subject to both sides receiving at least `min_leaf` samples.
 ///
@@ -498,6 +684,28 @@ pub fn find_best_split(
     stats: &TargetStats,
     n_threads: usize,
 ) -> Option<Split> {
+    find_best_split_with(cols, set, min_leaf, stats, n_threads, simd::simd_enabled())
+}
+
+/// [`find_best_split`] with the threshold-scan kernel chosen
+/// explicitly: `use_simd` selects the vectorized [`scan_attribute_simd`]
+/// or the scalar [`scan_attribute`] oracle. Both produce bit-identical
+/// splits — this entry point exists so tests and benchmarks can A/B the
+/// two in one process regardless of `SPECREPRO_NO_SIMD`.
+pub fn find_best_split_with(
+    cols: &Columns<'_>,
+    set: &NodeSet<'_>,
+    min_leaf: usize,
+    stats: &TargetStats,
+    n_threads: usize,
+    use_simd: bool,
+) -> Option<Split> {
+    type ScanFn = fn(&[f64], &[f64], &[u32], EventId, usize, &TargetStats, f64) -> Option<Split>;
+    let scan: ScanFn = if use_simd {
+        scan_attribute_simd
+    } else {
+        scan_attribute
+    };
     let n = set.len();
     if n < 2 * min_leaf {
         return None;
@@ -516,7 +724,7 @@ pub fn find_best_split(
     let workers = n_threads.min(N_EVENTS);
     if workers <= 1 {
         for (slot, event) in per_event.iter_mut().zip(EventId::ALL) {
-            *slot = scan_attribute(
+            *slot = scan(
                 cols.event(event),
                 cols.cpi,
                 set.sorted(event),
@@ -542,7 +750,7 @@ pub fn find_best_split(
                             .map(|event| {
                                 (
                                     event.index(),
-                                    scan_attribute(
+                                    scan(
                                         cols.event(event),
                                         cols.cpi,
                                         segments[event.index()],
@@ -717,6 +925,85 @@ mod tests {
             let parallel = find_best_split(&cols, &set, 2, &stats, threads);
             assert_eq!(serial, parallel, "n_threads = {threads}");
         }
+    }
+
+    #[test]
+    fn simd_scan_is_bit_identical_to_scalar() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Messy datasets: duplicated attribute values (tie skipping),
+        // several informative attributes (cross-attribute reduction),
+        // varied sizes around the lane width and the scalar-fallback
+        // cutoff.
+        for (n, seed) in [
+            (8usize, 1u64),
+            (17, 2),
+            (40, 3),
+            (100, 4),
+            (513, 5),
+            (2000, 6),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ds = Dataset::new();
+            let b = ds.add_benchmark("mix");
+            for _ in 0..n {
+                let dtlb = f64::from(rng.gen_range(0u32..8)) * 1e-4;
+                let load = rng.gen::<f64>() * 0.5;
+                let l2 = f64::from(rng.gen_range(0u32..4)) * 2e-4;
+                let cpi = 0.5 + 900.0 * dtlb + 0.8 * load + 300.0 * l2 + 0.05 * rng.gen::<f64>();
+                let mut s = Sample::zeros(cpi);
+                s.set(EventId::DtlbMiss, dtlb);
+                s.set(EventId::Load, load);
+                s.set(EventId::L2Miss, l2);
+                ds.push(s, b);
+            }
+            let cols = Columns::new(&ds);
+            let mut arena = SortArena::root(&cols);
+            let set = arena.node_set();
+            let stats = TargetStats::compute(cols.cpi, &set.indices);
+            for min_leaf in [1usize, 2, 4, 9] {
+                for threads in [1usize, 4] {
+                    let scalar =
+                        find_best_split_with(&cols, &set, min_leaf, &stats, threads, false);
+                    let simd = find_best_split_with(&cols, &set, min_leaf, &stats, threads, true);
+                    match (scalar, simd) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.event, b.event, "n={n} min_leaf={min_leaf}");
+                            assert_eq!(
+                                a.threshold.to_bits(),
+                                b.threshold.to_bits(),
+                                "n={n} min_leaf={min_leaf}: {} vs {}",
+                                a.threshold,
+                                b.threshold
+                            );
+                            assert_eq!(
+                                a.sdr.to_bits(),
+                                b.sdr.to_bits(),
+                                "n={n} min_leaf={min_leaf}: {} vs {}",
+                                a.sdr,
+                                b.sdr
+                            );
+                        }
+                        (a, b) => panic!("n={n} min_leaf={min_leaf}: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_scan_handles_constant_and_tiny_columns() {
+        // Constant-column early exit and the scalar fallback for
+        // windows under the SIMD cutoff take the same paths as scalar.
+        let (ds, idx) = two_regime_dataset();
+        let cols = Columns::new(&ds);
+        let mut arena = SortArena::new(&cols, &idx[..6]);
+        let set = arena.node_set();
+        let stats = TargetStats::compute(cols.cpi, &set.indices);
+        let scalar = find_best_split_with(&cols, &set, 2, &stats, 1, false);
+        let simd = find_best_split_with(&cols, &set, 2, &stats, 1, true);
+        assert_eq!(scalar, simd);
     }
 
     #[test]

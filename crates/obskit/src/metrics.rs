@@ -77,6 +77,8 @@ define_metrics! {
     EngineBlocks, "engine.blocks", Counter;
     EngineRowsPredicted, "engine.rows_predicted", Counter;
     EngineRowsClassified, "engine.rows_classified", Counter;
+    EngineSimdRows, "engine.simd_rows", Counter;
+    EngineScalarTailRows, "engine.scalar_tail_rows", Counter;
     EngineMaxDescentDepth, "engine.max_descent_depth", Gauge;
     // Experiment pipeline and artifact store.
     PipelineDatasetHits, "pipeline.dataset_hits", Counter;
