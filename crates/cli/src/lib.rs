@@ -12,6 +12,7 @@
 //! specrepro transfer --model model.json --train data.csv --test other.csv
 //! specrepro subset   --model model.json --data data.csv --k 6
 //! specrepro crossval --data data.csv --folds 5
+//! specrepro serve    --model model.json --addr 127.0.0.1:8080
 //! specrepro cache    stats
 //! specrepro trace    --out trace.json fit --data data.csv
 //! specrepro metrics  --json fit --data data.csv
@@ -497,6 +498,83 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
     ))
 }
 
+/// `serve`: host a fitted model behind the HTTP prediction service.
+///
+/// Loads `--model FILE` into the hot-swappable registry (named by its
+/// file stem unless `--name` overrides), binds `--addr`, and blocks
+/// until a client POSTs `/shutdown`. The environment-selected artifact
+/// store is attached so `POST /swap {"model":NAME,"key":HEX}` can
+/// promote any cached tree by fingerprint with zero downtime. Metrics
+/// stay enabled for the server's lifetime; the returned report is the
+/// final `serve.*` counter snapshot.
+///
+/// `--window-us 0` disables batching (every request runs alone), which
+/// is the honest baseline the serve benchmark compares against.
+///
+/// # Errors
+///
+/// Fails on an unreadable model file, invalid flags, or when the
+/// address cannot be bound.
+pub fn cmd_serve(flags: &Flags) -> Result<String> {
+    let path = flags.required("model")?;
+    let window_us: u64 = flags.parsed_or("window-us", 200)?;
+    let max_batch_rows: usize = flags.parsed_or("batch-rows", 4096)?;
+    let queue_rows: usize = flags.parsed_or("queue-rows", 16_384)?;
+    let max_connections: usize = flags.parsed_or("max-conns", 64)?;
+    if max_batch_rows == 0 || queue_rows == 0 || max_connections == 0 {
+        return Err(CliError(
+            "--batch-rows, --queue-rows, and --max-conns must be at least 1".into(),
+        ));
+    }
+    let addr = flags.optional("addr").unwrap_or("127.0.0.1:8080");
+    let tree = read_model(path)?;
+    let name = match flags.optional("name") {
+        Some(name) => name.to_owned(),
+        None => Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("model")
+            .to_owned(),
+    };
+    obskit::set_enabled(true, false);
+    let registry = std::sync::Arc::new(serve::ModelRegistry::new());
+    let version = registry.register_tree(&name, &tree);
+    let server = serve::Server::start(
+        registry,
+        serve::ServerConfig {
+            addr: addr.to_owned(),
+            coalescer: serve::CoalescerConfig {
+                window: std::time::Duration::from_micros(window_us),
+                max_batch_rows,
+                queue_rows,
+            },
+            max_connections,
+            store: Some(ArtifactStore::from_env()),
+            default_model: Some(name.clone()),
+        },
+    )
+    .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+    eprintln!(
+        "serving {name} (version {}) on http://{} — POST /predict|/classify|/swap|/shutdown, GET /healthz|/metrics",
+        version.version,
+        server.addr()
+    );
+    server.join();
+    let snap = obskit::metrics::snapshot();
+    let metric = |n: &str| snap.get(n).unwrap_or(0);
+    Ok(format!(
+        "served {} requests ({} batches; {} rows predicted, {} classified); \
+         {} shed busy, {} bad requests, {} model swaps",
+        metric("serve.requests"),
+        metric("serve.batches"),
+        metric("serve.rows_predicted"),
+        metric("serve.rows_classified"),
+        metric("serve.rejected_busy"),
+        metric("serve.bad_requests"),
+        metric("serve.model_swaps"),
+    ))
+}
+
 /// `cache`: inspect or clear the environment-selected artifact store.
 ///
 /// Unlike every other subcommand this takes one positional action
@@ -544,6 +622,10 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
     let evictions = metric("pipeline.corrupt_evictions");
     let simd_rows = metric("engine.simd_rows");
     let tail_rows = metric("engine.scalar_tail_rows");
+    let serve_requests = metric("serve.requests");
+    let serve_batches = metric("serve.batches");
+    let serve_rows = metric("serve.rows_predicted") + metric("serve.rows_classified");
+    let serve_shed = metric("serve.rejected_busy");
     if json {
         return format!(
             concat!(
@@ -553,7 +635,8 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
                 "\"total\":{{\"files\":{},\"bytes\":{}}},",
                 "\"pipeline\":{{\"hits\":{},\"misses\":{},\"hit_ratio\":{:.4},",
                 "\"bytes_read\":{},\"bytes_written\":{},\"corrupt_evictions\":{}}},",
-                "\"engine\":{{\"simd_rows\":{},\"scalar_tail_rows\":{}}}}}"
+                "\"engine\":{{\"simd_rows\":{},\"scalar_tail_rows\":{}}},",
+                "\"serve\":{{\"requests\":{},\"batches\":{},\"rows\":{},\"rejected_busy\":{}}}}}"
             ),
             obskit::export::json_string(&store.root().display().to_string()),
             stats.datasets,
@@ -570,12 +653,17 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
             evictions,
             simd_rows,
             tail_rows,
+            serve_requests,
+            serve_batches,
+            serve_rows,
+            serve_shed,
         );
     }
     format!(
         "artifact store {}\n  datasets  {:>5}  {:>10}\n  trees     {:>5}  {:>10}\n  total     {:>5}  {:>10}\n\
          pipeline telemetry (this process)\n  lookups   {:>5}  hit ratio {:.1}%\n  read      {:>10}  written {:>10}\n  corrupt evictions {}\n\
-         engine rows (this process)\n  simd      {:>10}  scalar tail {:>10}",
+         engine rows (this process)\n  simd      {:>10}  scalar tail {:>10}\n\
+         serve (this process)\n  requests  {:>10}  batches {:>10}\n  rows      {:>10}  shed busy {:>8}",
         store.root().display(),
         stats.datasets,
         human_bytes(stats.dataset_bytes),
@@ -590,6 +678,10 @@ fn cache_stats(store: &ArtifactStore, json: bool) -> String {
         evictions,
         simd_rows,
         tail_rows,
+        serve_requests,
+        serve_batches,
+        serve_rows,
+        serve_shed,
     )
 }
 
@@ -708,6 +800,8 @@ USAGE:
   specrepro explain  --model MODEL.json --data FILE [--row N]
   specrepro stats    --data FILE
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
+  specrepro serve    --model MODEL.json [--name NAME] [--addr HOST:PORT]
+                     [--window-us U] [--batch-rows N] [--queue-rows N] [--max-conns N]
   specrepro cache    stats [--json] | clear
   specrepro trace    --out FILE <command ...>
   specrepro metrics  [--json] <command ...>
@@ -725,6 +819,14 @@ bit-for-bit instead of recomputing. `specrepro cache stats` reports its
 contents, `specrepro cache clear` deletes it, and setting
 SPECREPRO_OBS_LOG=0 (or its legacy alias SPECREPRO_PIPELINE_LOG=0)
 silences the per-stage cache log on stderr.
+
+serve hosts the model as an HTTP prediction service (POST /predict,
+/classify; GET /healthz, /metrics; POST /swap promotes a cached tree by
+fingerprint with zero downtime; POST /shutdown drains and exits).
+Requests are coalesced into columnar batches — flushed after
+--window-us microseconds or at --batch-rows rows, whichever comes
+first; --window-us 0 disables batching. --queue-rows bounds the work
+queue (overload answers 429 + Retry-After).
 
 trace and metrics wrap any other command with telemetry enabled: trace
 writes a Chrome-trace JSON (chrome://tracing, ui.perfetto.dev) of the
@@ -765,6 +867,7 @@ pub fn run(args: &[String]) -> Result<String> {
         "explain" => cmd_explain(&flags),
         "stats" => cmd_stats(&flags),
         "crossval" => cmd_crossval(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -845,14 +948,34 @@ mod tests {
         assert!(stats.contains("0 B"));
         assert!(stats.contains("pipeline telemetry"));
         assert!(stats.contains("engine rows"));
+        assert!(stats.contains("serve (this process)"));
         let as_json = cache_stats(&store, true);
         let parsed: serde_json::Value = serde_json::from_str(&as_json).unwrap();
         assert!(parsed.get("pipeline").is_some(), "{as_json}");
         let engine = parsed.get("engine").expect("engine section");
         assert!(engine.get("simd_rows").is_some(), "{as_json}");
         assert!(engine.get("scalar_tail_rows").is_some(), "{as_json}");
+        let serve_section = parsed.get("serve").expect("serve section");
+        for key in ["requests", "batches", "rows", "rejected_busy"] {
+            assert!(serve_section.get(key).is_some(), "{as_json}");
+        }
         let cleared = cache_clear(&store).unwrap();
         assert!(cleared.contains("cleared 0 artifacts"));
+    }
+
+    #[test]
+    fn serve_requires_a_model_and_sane_bounds() {
+        let err = run(&argv(&["serve"])).unwrap_err();
+        assert!(err.0.contains("--model"), "{err}");
+        let err = run(&argv(&[
+            "serve",
+            "--model",
+            "/nonexistent/model.json",
+            "--batch-rows",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("at least 1"), "{err}");
     }
 
     #[test]

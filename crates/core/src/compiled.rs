@@ -77,6 +77,8 @@
 //! for every thread count: each output element is a pure function of
 //! its sample, so chunking only changes wall clock.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::linreg::LinearModel;
 use crate::simd::{self, F32x8, F64x4};
 use crate::tree::{ModelTree, NodeKind};
@@ -196,6 +198,17 @@ pub struct CompiledTree {
     /// after deserializing.
     #[serde(skip)]
     quantized: Option<Quantized>,
+    /// Lazily built, cached [`KernelPlan`]: the data-independent part
+    /// of the per-call SIMD kernel (used-column set plus node/term slot
+    /// resolution). Derived data, so not serialized and excluded from
+    /// equality; a deserialized engine rebuilds it on first use.
+    #[serde(skip)]
+    plan: PlanCell,
+    /// Inverted plan-caching switch ([`CompiledTree::with_plan_caching`]).
+    /// Stored inverted so the serde-skip default (`false`) keeps caching
+    /// **on** for deserialized engines.
+    #[serde(skip)]
+    plan_uncached: bool,
 }
 
 impl CompiledTree {
@@ -219,6 +232,8 @@ impl CompiledTree {
             simd: None,
             block_rows: None,
             quantized: None,
+            plan: PlanCell::default(),
+            plan_uncached: false,
         };
         let k = if tree.config().smoothing {
             tree.config().smoothing_k
@@ -367,6 +382,48 @@ impl CompiledTree {
     pub fn with_block_rows(mut self, rows: usize) -> Self {
         self.block_rows = Some(rows.max(1));
         self
+    }
+
+    /// Returns the engine with kernel-plan caching forced on (the
+    /// default) or off.
+    ///
+    /// The batch entry points split each call's kernel into a
+    /// **data-independent plan** — the deduplicated set of columns the
+    /// tree touches plus every node's and folded term's slot in that
+    /// set, `O(nodes + terms)` to build — and a **per-call view** that
+    /// merely borrows the dataset's column slices for the planned
+    /// events, `O(used columns)`. The plan depends only on the tree
+    /// structure, which is immutable after compilation, so it is built
+    /// once and cached on the engine; for the repeated small batches a
+    /// model server coalesces (1–64 rows), rebuilding it per call would
+    /// dominate the kernel itself. Disabling exists for A/B
+    /// benchmarking (`benches/serve_kernel.rs`) — results are identical
+    /// either way.
+    #[must_use]
+    pub fn with_plan_caching(mut self, enabled: bool) -> Self {
+        self.plan_uncached = !enabled;
+        if !enabled {
+            self.plan = PlanCell::default();
+        }
+        self
+    }
+
+    /// Whether the batch entry points reuse the cached kernel plan.
+    pub fn plan_caching(&self) -> bool {
+        !self.plan_uncached
+    }
+
+    /// The engine's kernel plan: the cached copy (building it on first
+    /// use), or a fresh build when caching is off.
+    fn kernel_plan(&self) -> Arc<KernelPlan> {
+        if self.plan_uncached {
+            return Arc::new(KernelPlan::build(self));
+        }
+        Arc::clone(
+            self.plan
+                .0
+                .get_or_init(|| Arc::new(KernelPlan::build(self))),
+        )
     }
 
     /// Returns the engine switched to the given kernel precision.
@@ -830,7 +887,7 @@ impl CompiledTree {
             self.eval_leaf_simd(kernel, views, s as usize, idx, acc, out);
             return;
         }
-        let col = views[kernel.node_slot[id] as usize];
+        let col = views[kernel.plan.node_slot[id] as usize];
         let nl = partition_lanes_f64(col, self.threshold[id], idx, scratch);
         let (sl, sr) = scratch[..idx.len()].split_at_mut(nl);
         let (il, ir) = idx.split_at_mut(nl);
@@ -925,7 +982,8 @@ impl CompiledTree {
         lanes: usize,
         finish: Option<(f64, &mut [f64])>,
     ) {
-        let cols: [&[f64]; K] = std::array::from_fn(|k| views[kernel.term_slot[t0 + k] as usize]);
+        let cols: [&[f64]; K] =
+            std::array::from_fn(|k| views[kernel.plan.term_slot[t0 + k] as usize]);
         let coefs: [f64; K] = std::array::from_fn(|k| self.term_coef[t0 + k]);
         let splats: [F64x4; K] = std::array::from_fn(|k| F64x4::splat(coefs[k]));
         if let Some((intercept, out)) = finish {
@@ -1021,7 +1079,7 @@ impl CompiledTree {
             );
             return;
         }
-        let col = views[kernel.node_slot[id] as usize];
+        let col = views[kernel.plan.node_slot[id] as usize];
         let nl = partition_lanes_f64(col, self.threshold[id], idx, scratch);
         let (sl, sr) = scratch[..idx.len()].split_at_mut(nl);
         let (il, ir) = idx.split_at_mut(nl);
@@ -1104,7 +1162,7 @@ impl CompiledTree {
             self.eval_leaf_f32(q, kernel, views, s as usize, idx, acc, out);
             return;
         }
-        let col = views[kernel.node_slot[id] as usize];
+        let col = views[kernel.plan.node_slot[id] as usize];
         let nl = partition_lanes_f64(col, q.threshold64[id], idx, scratch);
         let (sl, sr) = scratch[..idx.len()].split_at_mut(nl);
         let (il, ir) = idx.split_at_mut(nl);
@@ -1192,7 +1250,8 @@ impl CompiledTree {
         lanes: usize,
         finish: Option<(f32, &mut [f64])>,
     ) {
-        let cols: [&[f64]; K] = std::array::from_fn(|k| views[kernel.term_slot[t0 + k] as usize]);
+        let cols: [&[f64]; K] =
+            std::array::from_fn(|k| views[kernel.plan.term_slot[t0 + k] as usize]);
         let coefs: [f32; K] = std::array::from_fn(|k| q.term_coef[t0 + k]);
         let splats: [F32x8; K] = std::array::from_fn(|k| F32x8::splat(coefs[k]));
         if let Some((intercept, out)) = finish {
@@ -1287,7 +1346,7 @@ impl CompiledTree {
             }
             return;
         }
-        let col = views[kernel.node_slot[id] as usize];
+        let col = views[kernel.plan.node_slot[id] as usize];
         let nl = partition_lanes_f64(col, q.threshold64[id], idx, scratch);
         let (sl, sr) = scratch[..idx.len()].split_at_mut(nl);
         let (il, ir) = idx.split_at_mut(nl);
@@ -1607,38 +1666,42 @@ impl<'a> BatchKernel<'a> {
     }
 }
 
-/// The SIMD kernels' per-call view of a tree over one dataset: only the
-/// columns the tree actually touches (typically far fewer than
-/// `N_EVENTS`), deduplicated, with every node and folded term resolved
-/// to an index into that small set. Blocks then materialize one window
-/// per used column and the descent indexes `views[slot]` directly.
-struct SimdKernel<'a> {
-    /// Deduplicated columns touched by any split test or folded term.
-    used: Vec<&'a [f64]>,
-    /// Per node: index into `used` of the tested column (0 for leaves;
-    /// never read there).
+/// The data-independent half of the SIMD kernel: which columns the tree
+/// actually touches (typically far fewer than `N_EVENTS`), deduplicated,
+/// with every node and folded term resolved to an index into that small
+/// set. The plan depends only on the immutable compiled tree, so it is
+/// built once per engine and cached ([`CompiledTree::with_plan_caching`]);
+/// a per-call [`SimdKernel`] then only borrows one dataset's slices for
+/// the planned events.
+#[derive(Debug)]
+struct KernelPlan {
+    /// Deduplicated events touched by any split test or folded term, in
+    /// first-touch order.
+    used_events: Vec<EventId>,
+    /// Per node: index into `used_events` of the tested column (0 for
+    /// leaves; never read there).
     node_slot: Vec<u32>,
-    /// Per folded term: index into `used`.
+    /// Per folded term: index into `used_events`.
     term_slot: Vec<u32>,
 }
 
-impl<'a> SimdKernel<'a> {
-    fn new(tree: &CompiledTree, store: &'a ColumnStore) -> SimdKernel<'a> {
+impl KernelPlan {
+    fn build(tree: &CompiledTree) -> KernelPlan {
         let mut index_of = [u32::MAX; N_EVENTS];
-        let mut used: Vec<&'a [f64]> = Vec::new();
-        let mut resolve = |feature: u32, used: &mut Vec<&'a [f64]>| {
+        let mut used_events: Vec<EventId> = Vec::new();
+        let mut resolve = |feature: u32, used: &mut Vec<EventId>| {
             let f = feature as usize;
             if index_of[f] == u32::MAX {
                 index_of[f] = used.len() as u32;
                 let event = EventId::from_index(f).expect("compiled features are valid events");
-                used.push(store.event(event));
+                used.push(event);
             }
             index_of[f]
         };
         let node_slot = (0..tree.n_nodes())
             .map(|n| {
                 if tree.slot[n] == SPLIT {
-                    resolve(tree.feature[n], &mut used)
+                    resolve(tree.feature[n], &mut used_events)
                 } else {
                     0
                 }
@@ -1647,13 +1710,54 @@ impl<'a> SimdKernel<'a> {
         let term_slot = tree
             .term_feature
             .iter()
-            .map(|&f| resolve(f, &mut used))
+            .map(|&f| resolve(f, &mut used_events))
             .collect();
-        SimdKernel {
-            used,
+        KernelPlan {
+            used_events,
             node_slot,
             term_slot,
         }
+    }
+}
+
+/// The cached [`KernelPlan`] slot on a [`CompiledTree`]. Derived data:
+/// clones share the already-built plan (an `Arc` bump), equality ignores
+/// it, and serde skips it entirely.
+#[derive(Debug, Default)]
+struct PlanCell(OnceLock<Arc<KernelPlan>>);
+
+impl Clone for PlanCell {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(plan) = self.0.get() {
+            let _ = cell.set(Arc::clone(plan));
+        }
+        PlanCell(cell)
+    }
+}
+
+impl PartialEq for PlanCell {
+    fn eq(&self, _: &Self) -> bool {
+        true // cache state is not part of an engine's identity
+    }
+}
+
+/// The SIMD kernels' per-call view of a tree over one dataset: the
+/// cached [`KernelPlan`] plus the dataset's borrowed column slices for
+/// the planned events. Blocks then materialize one window per used
+/// column and the descent indexes `views[slot]` directly. Building it is
+/// `O(used columns)` — trivial even for single-row batches.
+struct SimdKernel<'a> {
+    /// Column slices for [`KernelPlan::used_events`], same order.
+    used: Vec<&'a [f64]>,
+    plan: Arc<KernelPlan>,
+}
+
+impl<'a> SimdKernel<'a> {
+    fn new(tree: &CompiledTree, store: &'a ColumnStore) -> SimdKernel<'a> {
+        let plan = tree.kernel_plan();
+        let used = plan.used_events.iter().map(|&e| store.event(e)).collect();
+        SimdKernel { used, plan }
     }
 }
 
@@ -2019,5 +2123,57 @@ mod tests {
         let fast = tree.compile().with_precision(Precision::F32Fast);
         assert!(fast.predict_batch(&Dataset::new()).is_empty());
         assert!(fast.predict_indices(&ds, &[]).is_empty());
+    }
+
+    #[test]
+    fn plan_caching_is_bit_identical_and_sticky() {
+        let ds = regime_dataset(800, 12);
+        let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+        let cached = tree.compile().with_simd(true);
+        let uncached = tree.compile().with_simd(true).with_plan_caching(false);
+        assert!(cached.plan_caching());
+        assert!(!uncached.plan_caching());
+
+        // Repeated small batches (the serve coalescer's shape) must be
+        // bit-identical with the plan cached, uncached, and across
+        // repeated calls of the same engine.
+        let reference = cached.predict_batch(&ds);
+        for _ in 0..3 {
+            let a = cached.predict_batch(&ds);
+            let b = uncached.predict_batch(&ds);
+            for ((r, x), y) in reference.iter().zip(&a).zip(&b) {
+                assert_eq!(r.to_bits(), x.to_bits());
+                assert_eq!(r.to_bits(), y.to_bits());
+            }
+            assert_eq!(cached.classify_batch(&ds), uncached.classify_batch(&ds));
+        }
+
+        // The cache survives (and is shared by) clones: the clone's
+        // cell holds the same Arc the original built.
+        let built = cached.kernel_plan();
+        let cloned = cached.clone();
+        assert!(Arc::ptr_eq(&built, &cloned.kernel_plan()));
+        // An uncached engine hands out a fresh plan per call.
+        assert!(!Arc::ptr_eq(
+            &uncached.kernel_plan(),
+            &uncached.kernel_plan()
+        ));
+    }
+
+    #[test]
+    fn plan_survives_serde_round_trip() {
+        let ds = regime_dataset(400, 13);
+        let tree = ModelTree::fit(&ds, &M5Config::default()).unwrap();
+        let engine = tree.compile().with_simd(true);
+        let json = serde_json::to_string(&engine).unwrap();
+        let back: CompiledTree = serde_json::from_str(&json).unwrap();
+        // serde skips the cache cell; the deserialized engine defaults
+        // to caching on and rebuilds an equivalent plan lazily.
+        assert!(back.plan_caching());
+        let expect = engine.predict_batch(&ds);
+        let got = back.with_simd(true).predict_batch(&ds);
+        for (a, b) in expect.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

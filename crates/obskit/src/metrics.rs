@@ -92,6 +92,15 @@ define_metrics! {
     // Counter-multiplexing PMU simulator.
     PmuIntervals, "pmu.intervals", Counter;
     PmuRotations, "pmu.rotations", Counter;
+    // Prediction server (crates/serve).
+    ServeConnections, "serve.connections", Counter;
+    ServeRequests, "serve.requests", Counter;
+    ServeRowsPredicted, "serve.rows_predicted", Counter;
+    ServeRowsClassified, "serve.rows_classified", Counter;
+    ServeBatches, "serve.batches", Counter;
+    ServeRejectedBusy, "serve.rejected_busy", Counter;
+    ServeBadRequests, "serve.bad_requests", Counter;
+    ServeModelSwaps, "serve.model_swaps", Counter;
 }
 
 macro_rules! define_hists {
@@ -124,6 +133,8 @@ define_hists! {
     EngineBatchRows, "engine.batch_rows";
     PipelineCodecEncodeNs, "pipeline.codec_encode_ns";
     PipelineCodecDecodeNs, "pipeline.codec_decode_ns";
+    ServeBatchRows, "serve.batch_rows";
+    ServeRequestNs, "serve.request_ns";
 }
 
 /// Log₂ bucket count: bucket `b` holds observations in

@@ -41,6 +41,18 @@ impl Fingerprint {
     pub fn to_hex(self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// Parses the [`Fingerprint::to_hex`] rendering back into a key.
+    /// Accepts exactly 1–32 hex digits (case-insensitive); anything
+    /// else — empty, overlong, or non-hex — returns `None`. The inverse
+    /// direction the serve registry needs to look artifacts up from
+    /// request-supplied keys.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -317,5 +329,22 @@ mod tests {
             dataset_content_fingerprint(&a),
             dataset_content_fingerprint(&a.clone())
         );
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for fp in [
+            Fingerprint(0),
+            Fingerprint(1),
+            Fingerprint(u128::MAX),
+            Fingerprint(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210),
+        ] {
+            assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        }
+        assert_eq!(Fingerprint::from_hex("ABCDEF"), Some(Fingerprint(0xabcdef)));
+        assert_eq!(Fingerprint::from_hex(""), None);
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(&"f".repeat(33)), None);
+        assert_eq!(Fingerprint::from_hex("0x12"), None);
     }
 }

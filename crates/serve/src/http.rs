@@ -1,0 +1,374 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the prediction server
+//! and load generator need, hardened against garbage.
+//!
+//! The parser is **incremental**: it is handed the connection's whole
+//! read buffer and either returns a complete request plus the number of
+//! bytes it consumed, reports "incomplete, read more", or rejects the
+//! stream with a typed error that maps onto a 4xx status. It never
+//! panics on malformed input — truncated heads, oversized bodies,
+//! binary garbage, and absurd header counts all surface as
+//! [`HttpError`] (see `testkit/tests/serve_e2e.rs` for the fuzz-style
+//! hardening suite).
+//!
+//! Unsupported-on-purpose: chunked transfer encoding, multiline header
+//! folding, trailers, and HTTP/2 — clients the workspace controls never
+//! send them, and anything that does gets a clean 400.
+
+use std::fmt;
+
+/// Maximum bytes of request line + headers. Beyond this the stream is
+/// rejected with 431 before any more reading.
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// Maximum declared `Content-Length`. Large enough for a ~16k-row
+/// dense text batch, small enough that a hostile client cannot balloon
+/// a handler's buffer; beyond it the request is rejected with 413.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Maximum number of request headers (anti-DoS bound on parse work).
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request, borrowing from the connection's read buffer.
+/// Header names of interest are pre-extracted; everything else is
+/// dropped during parsing.
+///
+/// Borrowing instead of owning matters: at 100k+ req/s every
+/// per-request `String`/`Vec` allocation is measurable (the allocator
+/// is global-locked on this target), and the handler keeps the read
+/// buffer alive until the response is rendered anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request<'a> {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: &'a str,
+    /// Request target, verbatim (always starts with `/`).
+    pub path: &'a str,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
+    /// overrides either way).
+    pub keep_alive: bool,
+    /// `Content-Type` value, verbatim (compare case-insensitively).
+    pub content_type: Option<&'a str>,
+    /// `X-Model` header: which registry entry the request targets
+    /// (defaults to the server's sole/default model when absent).
+    pub model: Option<&'a str>,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: &'a [u8],
+}
+
+/// Why a byte stream was rejected. Each variant maps onto one 4xx.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// No complete head within [`MAX_HEAD`] bytes → 431.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY`] → 413.
+    BodyTooLarge,
+    /// Anything else wrong with the head → 400 with the reason.
+    Malformed(&'static str),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::Malformed(_) => 400,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD} bytes"),
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY} bytes"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// * `Ok(Some((request, consumed)))` — a complete request; the caller
+///   drains `consumed` bytes and may immediately try again (HTTP
+///   pipelining: every already-buffered request should be parsed and
+///   dispatched before waiting on responses, which is what lets one
+///   connection fill a coalescer batch).
+/// * `Ok(None)` — the buffer holds only a prefix; read more.
+/// * `Err(_)` — the stream is unsalvageable; respond and close.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(
+            "request line is not METHOD SP PATH SP VERSION",
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("method is not an uppercase token"));
+    }
+    if !path.starts_with('/') || path.bytes().any(|b| b <= b' ' || b == 0x7f) {
+        return Err(HttpError::Malformed(
+            "path must start with '/' and carry no controls",
+        ));
+    }
+    let default_keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = default_keep_alive;
+    let mut content_type = None;
+    let mut model = None;
+    let mut n_headers = 0usize;
+    for line in lines {
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without ':'"));
+        };
+        let value = value.trim();
+        if name.is_empty() || name.bytes().any(|b| b <= b' ' || b == 0x7f) {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let length: u64 = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            if length > MAX_BODY as u64 {
+                return Err(HttpError::BodyTooLarge);
+            }
+            content_length = length as usize;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value);
+        } else if name.eq_ignore_ascii_case("x-model") {
+            model = Some(value);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed(
+                "chunked transfer encoding unsupported",
+            ));
+        }
+    }
+
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Ok(None); // body still in flight
+    }
+    Ok(Some((
+        Request {
+            method,
+            path,
+            keep_alive,
+            content_type,
+            model,
+            body: &buf[head_len..total],
+        },
+        total,
+    )))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present
+/// within the first [`MAX_HEAD`] bytes.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let window = &buf[..buf.len().min(MAX_HEAD)];
+    window
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+/// Appends one response to `out`. `Content-Length` is always emitted;
+/// extra headers are caller-supplied `(name, value)` pairs.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    use std::io::Write;
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(s: &str) -> Result<Option<(Request<'_>, usize)>, HttpError> {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let (r, used) = req("GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.keep_alive);
+        assert!(r.body.is_empty());
+        assert_eq!(used, "GET /healthz HTTP/1.1\r\n\r\n".len());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let s = "POST /predict HTTP/1.1\r\nContent-Type: text/plain\r\nX-Model: cpu2006\r\nContent-Length: 5\r\n\r\nhello";
+        let (r, used) = req(s).unwrap().unwrap();
+        assert_eq!(r.body, b"hello");
+        assert_eq!(r.content_type, Some("text/plain"));
+        assert_eq!(r.model, Some("cpu2006"));
+        assert_eq!(used, s.len());
+    }
+
+    #[test]
+    fn incomplete_head_and_body_want_more() {
+        assert_eq!(req("POST /pred").unwrap(), None);
+        assert_eq!(
+            req("POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let s = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (a, used) = req(s).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let (b, used2) = parse_request(&s.as_bytes()[used..]).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(used + used2, s.len());
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let (r, _) = req("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive);
+        let (r, _) = req("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive);
+        let (r, _) = req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(req("\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            req("get / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET noslash HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET / HTTP/1.1\r\nbroken line\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let mut bin = b"POST /predict HTTP/1.1\r\nContent-Length: 3\r\nX-".to_vec();
+        bin.extend_from_slice(&[0xff, 0xfe, 0x00]);
+        bin.extend_from_slice(b": v\r\n\r\nabc");
+        assert!(parse_request(&bin).is_err());
+    }
+
+    #[test]
+    fn enforces_limits() {
+        // An endless header stream without a terminator: 431 once the
+        // window fills.
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        while s.len() < MAX_HEAD {
+            s.push_str("X-Pad: 0123456789abcdef\r\n");
+        }
+        assert_eq!(req(&s), Err(HttpError::HeadTooLarge));
+        // A declared body over the cap: 413 immediately, without
+        // waiting for the bytes.
+        let s = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(req(&s), Err(HttpError::BodyTooLarge));
+        // Too many headers.
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..70 {
+            s.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        s.push_str("\r\n");
+        assert!(matches!(req(&s), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_writer_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", &[("X-Model-Version", "abc")], b"1.5\n");
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\nContent-Length: 4\r\n"));
+        assert!(s.contains("X-Model-Version: abc\r\n"));
+        assert!(s.ends_with("\r\n\r\n1.5\n"));
+    }
+}

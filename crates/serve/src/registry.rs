@@ -1,0 +1,213 @@
+//! The hot-swappable model registry: names → immutable model versions.
+//!
+//! A [`ModelVersion`] bundles a compiled engine with its **version
+//! fingerprint** — the pipeline's content-addressed key when the model
+//! came out of the [`ArtifactStore`], or a content hash of the codec
+//! bytes for directly registered trees. Handlers resolve a name to an
+//! `Arc<ModelVersion>` once per request and carry that `Arc` through
+//! the coalescer, so a concurrent [`ModelRegistry::insert`] (the hot
+//! swap) never mixes versions inside a request: in-flight batches
+//! finish on the version they captured, new requests see the new one.
+//! The swap itself is a write-locked `HashMap` slot store — the lock is
+//! held for pointer writes only, never during inference.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use modeltree::{CompiledTree, ModelTree};
+use pipeline::{codec, ArtifactStore, Fingerprint, FingerprintHasher};
+
+/// One immutable, servable model version.
+#[derive(Debug)]
+pub struct ModelVersion {
+    /// Registry name the version is (or was) published under.
+    pub name: String,
+    /// Version fingerprint, lowercase hex — echoed to clients in the
+    /// `X-Model-Version` response header so they can pin observed
+    /// predictions to an exact model.
+    pub version: String,
+    /// The compiled inference engine.
+    pub engine: CompiledTree,
+}
+
+/// Thread-safe name → [`ModelVersion`] map with atomic replacement.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, Arc<ModelVersion>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Resolves a name to its current version (an `Arc` bump under a
+    /// read lock — the inference hot path never blocks on swaps longer
+    /// than the pointer store itself).
+    pub fn get(&self, name: &str) -> Option<Arc<ModelVersion>> {
+        self.slots
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Publishes (or hot-swaps) a version under its name, returning the
+    /// replaced version if there was one. In-flight requests holding
+    /// the old `Arc` are unaffected.
+    pub fn insert(&self, version: Arc<ModelVersion>) -> Option<Arc<ModelVersion>> {
+        self.slots
+            .write()
+            .expect("registry lock poisoned")
+            .insert(version.name.clone(), version)
+    }
+
+    /// Compiles and publishes a fitted tree under `name`, deriving the
+    /// version fingerprint from the tree's codec bytes (content-equal
+    /// trees get equal versions, matching the artifact store's
+    /// content-addressing philosophy).
+    pub fn register_tree(&self, name: &str, tree: &ModelTree) -> Arc<ModelVersion> {
+        let mut h = FingerprintHasher::new("serve.model");
+        h.write_bytes(&codec::encode_tree(tree));
+        let version = self.publish(name, h.finish(), tree);
+        obskit::emit(
+            "serve",
+            "serve.model_registered",
+            &[("model", &version.name), ("version", &version.version)],
+            false,
+        );
+        version
+    }
+
+    /// Loads the tree stored under `key`, compiles it, and publishes it
+    /// as `name`'s current version — the zero-downtime update path the
+    /// `/swap` endpoint drives. The version fingerprint is the store
+    /// key itself.
+    ///
+    /// Errors are strings suitable for a response body: a miss reports
+    /// the key, a corrupt artifact reports the codec failure.
+    pub fn load_from_store(
+        &self,
+        store: &ArtifactStore,
+        name: &str,
+        key: Fingerprint,
+    ) -> Result<Arc<ModelVersion>, String> {
+        let tree = store.load_tree(key).map_err(|e| match e {
+            None => format!("no tree artifact under key {key}"),
+            Some(codec) => format!("tree artifact {key} unreadable: {codec}"),
+        })?;
+        obskit::metrics::incr(obskit::metrics::Metric::ServeModelSwaps);
+        Ok(self.publish(name, key, &tree))
+    }
+
+    /// The registered names, sorted (for `/healthz` and diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .slots
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn publish(&self, name: &str, key: Fingerprint, tree: &ModelTree) -> Arc<ModelVersion> {
+        let version = Arc::new(ModelVersion {
+            name: name.to_string(),
+            version: key.to_hex(),
+            // Serving batches are latency-bound and the handler pool
+            // already supplies the concurrency; keep each kernel call
+            // serial so coalesced batches never fight the handlers for
+            // cores.
+            engine: tree.compile().with_n_threads(1),
+        });
+        self.insert(Arc::clone(&version));
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modeltree::M5Config;
+    use perfcounters::{Dataset, EventId, Sample};
+
+    fn toy_tree(flip: bool) -> ModelTree {
+        let mut ds = Dataset::new();
+        let b = ds.add_benchmark("toy");
+        for i in 0..200 {
+            let hot = (i % 2 == 0) ^ flip;
+            let mut s = Sample::zeros(if hot { 0.5 } else { 1.5 });
+            s.set(EventId::DtlbMiss, if hot { 1e-4 } else { 3e-4 });
+            ds.push(s, b);
+        }
+        ModelTree::fit(&ds, &M5Config::default()).unwrap()
+    }
+
+    #[test]
+    fn register_resolve_and_swap() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.get("cpu2006").is_none());
+
+        let v1 = reg.register_tree("cpu2006", &toy_tree(false));
+        assert_eq!(reg.len(), 1);
+        let resolved = reg.get("cpu2006").unwrap();
+        assert!(Arc::ptr_eq(&v1, &resolved));
+
+        // Hot swap: the name now resolves to v2, but the v1 Arc a
+        // request captured remains fully usable.
+        let v2 = reg.register_tree("cpu2006", &toy_tree(true));
+        assert_ne!(v1.version, v2.version);
+        assert!(Arc::ptr_eq(&v2, &reg.get("cpu2006").unwrap()));
+        let mut probe = Sample::zeros(0.0);
+        probe.set(EventId::DtlbMiss, 1e-4);
+        let _ = resolved.engine.predict(&probe); // old version still serves
+
+        assert_eq!(reg.names(), vec!["cpu2006".to_string()]);
+    }
+
+    #[test]
+    fn content_equal_trees_share_a_version() {
+        let reg = ModelRegistry::new();
+        let a = reg.register_tree("a", &toy_tree(false));
+        let b = reg.register_tree("b", &toy_tree(false));
+        let c = reg.register_tree("c", &toy_tree(true));
+        assert_eq!(a.version, b.version);
+        assert_ne!(a.version, c.version);
+        assert_eq!(a.version.len(), 32);
+    }
+
+    #[test]
+    fn store_round_trip_and_miss() {
+        let dir = std::env::temp_dir().join(format!("serve-registry-test-{}", std::process::id()));
+        let store = ArtifactStore::open(&dir);
+        let tree = toy_tree(false);
+        let key = Fingerprint(0xdead_beef);
+        store.store_tree(key, &tree).unwrap();
+
+        let reg = ModelRegistry::new();
+        let v = reg.load_from_store(&store, "cpu2006", key).unwrap();
+        assert_eq!(v.version, key.to_hex());
+        assert!(reg.get("cpu2006").is_some());
+
+        let missing = reg.load_from_store(&store, "cpu2006", Fingerprint(1));
+        assert!(missing.is_err());
+        // A failed swap must leave the previous version in place.
+        assert_eq!(reg.get("cpu2006").unwrap().version, key.to_hex());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
