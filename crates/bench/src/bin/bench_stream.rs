@@ -1,0 +1,252 @@
+//! Streaming ingestion and out-of-core refit snapshot.
+//!
+//! Seals a simulated fleet into a chunked `SPDC` container and
+//! measures three things the streaming design claims:
+//!
+//! 1. **Ingest throughput** — rows/s through the sharded aggregator
+//!    into the sealed container, clean and under the standard fault
+//!    schedule (drops, duplicates, reorders, host deaths, torn chunk
+//!    writes).
+//! 2. **Out-of-core overhead** — fitting every sliding window through
+//!    `ChunkedReader::window_dataset` (only one window resident at a
+//!    time) versus fitting the same windows from a fully materialized
+//!    in-memory dataset. The trees must be bit-identical; only the
+//!    I/O overhead may differ.
+//! 3. **Refit latency** — cold (fit + store) versus warm
+//!    (fingerprint-keyed artifact-store replay) window refits.
+//!
+//! The container deliberately holds at least 4x the rows the refit
+//! loop is allowed to hold in memory at once (one window), which is
+//! the out-of-core acceptance bar; the run asserts it.
+//!
+//! `cargo run --release -p spec-bench --bin bench_stream [--smoke] [output.json]`
+//! (default output: `results/BENCH_stream.json`).
+
+use std::io::BufReader;
+use std::time::Instant;
+
+use modeltree::{M5Config, ModelTree};
+use pipeline::{ArtifactStore, ChunkedReader};
+use serde_json::json;
+use stream::{windowed_refit, FaultConfig, FleetConfig, RefitConfig, StreamConfig, StreamPlan};
+
+struct BenchConfig {
+    hosts: u64,
+    intervals: u32,
+    chunk_rows: usize,
+    window_rows: u64,
+    shards: usize,
+    threads: usize,
+    min_leaf: usize,
+}
+
+const SEED: u64 = 20_060_828;
+const FAULT_SEED: u64 = 7;
+
+fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
+    let mut smoke = false;
+    let mut path = "results/BENCH_stream.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    let cfg = if smoke {
+        BenchConfig {
+            hosts: 120,
+            intervals: 40,
+            chunk_rows: 256,
+            window_rows: 1024,
+            shards: 4,
+            threads: 2,
+            min_leaf: 60,
+        }
+    } else {
+        BenchConfig {
+            hosts: 2000,
+            intervals: 60,
+            chunk_rows: 1024,
+            window_rows: 16_384,
+            shards: 8,
+            threads: 4,
+            min_leaf: 300,
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("specrepro-bench-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    // 1. Ingest throughput, clean and faulted.
+    let fleet = FleetConfig::cpu2006(cfg.hosts, cfg.intervals, SEED);
+    let clean_cfg = StreamConfig::new(fleet)
+        .with_shards(cfg.shards)
+        .with_threads(cfg.threads)
+        .with_chunk_rows(cfg.chunk_rows);
+    let clean_path = dir.join("clean.spdc");
+    let start = Instant::now();
+    let clean = stream::run_stream(&clean_cfg, &clean_path).expect("clean ingest");
+    let t_clean = start.elapsed().as_secs_f64();
+
+    let faulted_cfg = clean_cfg
+        .clone()
+        .with_faults(FaultConfig::standard(FAULT_SEED));
+    let faulted_path = dir.join("faulted.spdc");
+    let start = Instant::now();
+    let faulted = stream::run_stream(&faulted_cfg, &faulted_path).expect("faulted ingest");
+    let t_faulted = start.elapsed().as_secs_f64();
+    assert!(faulted.retransmits > 0, "fault schedule injected nothing");
+
+    // Every sealed chunk must pass its integrity hash when read back.
+    let mut reader = ChunkedReader::open(BufReader::new(
+        std::fs::File::open(&faulted_path).expect("reopen faulted container"),
+    ))
+    .expect("open faulted container");
+    for i in 0..reader.n_chunks() {
+        reader.read_chunk(i).expect("faulted chunk verifies");
+    }
+
+    // 2. Out-of-core vs in-memory window fits over the clean container.
+    let mut reader = ChunkedReader::open(BufReader::new(
+        std::fs::File::open(&clean_path).expect("reopen clean container"),
+    ))
+    .expect("open clean container");
+    let total_rows = reader.n_rows();
+    assert!(
+        total_rows >= 4 * cfg.window_rows,
+        "container holds {total_rows} rows, need >= 4x the {}-row in-memory window budget",
+        cfg.window_rows
+    );
+    let m5 = M5Config::default().with_min_leaf(cfg.min_leaf);
+    let refit_cfg = RefitConfig::new(cfg.window_rows, m5);
+    let windows = refit_cfg.windows(total_rows);
+
+    let start = Instant::now();
+    let ooc_trees: Vec<ModelTree> = windows
+        .iter()
+        .map(|w| {
+            let data = reader.window_dataset(w.clone()).expect("window dataset");
+            ModelTree::fit(&data, &m5).expect("ooc fit")
+        })
+        .collect();
+    let t_ooc = start.elapsed().as_secs_f64();
+
+    let plan = StreamPlan::new(&clean_cfg);
+    let full = plan.naive_dataset();
+    assert_eq!(full.len() as u64, total_rows, "oracle row count");
+    let start = Instant::now();
+    let mem_trees: Vec<ModelTree> = windows
+        .iter()
+        .map(|w| {
+            let rows: Vec<u32> = (w.start as u32..w.end as u32).collect();
+            ModelTree::fit_indices(&full, &rows, &m5).expect("in-memory fit")
+        })
+        .collect();
+    let t_mem = start.elapsed().as_secs_f64();
+    for (o, m) in ooc_trees.iter().zip(&mem_trees) {
+        assert_eq!(
+            serde_json::to_string(o).unwrap(),
+            serde_json::to_string(m).unwrap(),
+            "out-of-core window fit diverged from the in-memory fit"
+        );
+    }
+
+    // 3. Cold vs warm refit latency through the artifact store.
+    let store = ArtifactStore::open(dir.join("store"));
+    let start = Instant::now();
+    let cold = windowed_refit(&mut reader, &store, &refit_cfg).expect("cold refit");
+    let t_cold = start.elapsed().as_secs_f64();
+    assert!(cold.iter().all(|f| !f.cached), "cold pass hit the cache");
+    let start = Instant::now();
+    let warm = windowed_refit(&mut reader, &store, &refit_cfg).expect("warm refit");
+    let t_warm = start.elapsed().as_secs_f64();
+    assert!(warm.iter().all(|f| f.cached), "warm pass missed the cache");
+    let mean_ms = |fits: &[stream::WindowFit]| -> f64 {
+        fits.iter().map(|f| f.refit_ns as f64 / 1e6).sum::<f64>() / fits.len().max(1) as f64
+    };
+
+    let report = json!({
+        "experiment": "fleet streaming: ingest, out-of-core refit, warm-start latency",
+        "smoke": smoke,
+        "config": {
+            "hosts": cfg.hosts,
+            "intervals_per_host": cfg.intervals,
+            "seed": SEED,
+            "fault_seed": FAULT_SEED,
+            "shards": cfg.shards,
+            "threads": cfg.threads,
+            "chunk_rows": cfg.chunk_rows,
+            "window_rows": cfg.window_rows,
+            "min_leaf": cfg.min_leaf,
+        },
+        "ingest": {
+            "clean": {
+                "seconds": t_clean,
+                "rows": clean.rows,
+                "chunks": clean.chunks,
+                "rows_per_sec": clean.rows as f64 / t_clean,
+            },
+            "faulted": {
+                "seconds": t_faulted,
+                "rows": faulted.rows,
+                "chunks": faulted.chunks,
+                "rows_per_sec": faulted.rows as f64 / t_faulted,
+                "duplicates_dropped": faulted.duplicates_dropped,
+                "retransmits": faulted.retransmits,
+                "faults_injected": faulted.faults_injected,
+                "torn_writes_repaired": faulted.torn_writes_repaired,
+                "all_chunks_verify": true,
+            },
+        },
+        "out_of_core": {
+            "total_rows": total_rows,
+            "in_memory_budget_rows": cfg.window_rows,
+            "budget_ratio": total_rows as f64 / cfg.window_rows as f64,
+            "windows": windows.len(),
+            "ooc_fit_seconds": t_ooc,
+            "in_memory_fit_seconds": t_mem,
+            "overhead_ratio": t_ooc / t_mem,
+            "trees_bit_identical": true,
+        },
+        "refit": {
+            "windows": cold.len(),
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "cold_mean_ms": mean_ms(&cold),
+            "warm_mean_ms": mean_ms(&warm),
+            "warm_cache_hits": warm.iter().filter(|f| f.cached).count(),
+            "speedup_warm_vs_cold": t_cold / t_warm,
+        },
+    });
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, body + "\n").expect("write snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "ingest  clean {:>9.0} rows/s   faulted {:>9.0} rows/s ({} retransmits, {} torn repairs)",
+        clean.rows as f64 / t_clean,
+        faulted.rows as f64 / t_faulted,
+        faulted.retransmits,
+        faulted.torn_writes_repaired,
+    );
+    println!(
+        "ooc     {:.3} s vs in-memory {:.3} s over {} windows ({:.0}% overhead, {:.1}x budget)",
+        t_ooc,
+        t_mem,
+        windows.len(),
+        100.0 * (t_ooc / t_mem - 1.0),
+        total_rows as f64 / cfg.window_rows as f64,
+    );
+    println!(
+        "refit   cold {:.3} s, warm {:.3} s ({:.1}x, {} cache hits)",
+        t_cold,
+        t_warm,
+        t_cold / t_warm,
+        warm.len(),
+    );
+    println!("wrote {path}");
+}

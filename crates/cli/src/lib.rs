@@ -13,6 +13,7 @@
 //! specrepro subset   --model model.json --data data.csv --k 6
 //! specrepro crossval --data data.csv --folds 5
 //! specrepro serve    --model model.json --addr 127.0.0.1:8080
+//! specrepro stream   --out fleet.spdc --hosts 1000 --fault-seed 7
 //! specrepro cache    stats
 //! specrepro trace    --out trace.json fit --data data.csv
 //! specrepro metrics  --json fit --data data.csv
@@ -575,6 +576,89 @@ pub fn cmd_serve(flags: &Flags) -> Result<String> {
     ))
 }
 
+/// `stream`: ingest a simulated fleet into a chunked `SPDC` container,
+/// then refit the model over sliding windows of the sealed rows.
+///
+/// The container layout is a pure function of the fleet and chunking
+/// configuration — `--threads` only changes wall clock, never bytes —
+/// and `--fault-seed` arms the deterministic fault injector (drops,
+/// duplicates, reorders, host deaths, torn chunk writes) whose
+/// recovery machinery keeps the sealed bytes identical to a clean run
+/// modulo host deaths. Windowed refits warm-start from the artifact
+/// store by window-content fingerprint, so a re-run over unchanged
+/// data replays cached trees.
+///
+/// # Errors
+///
+/// Fails on bad flags, I/O errors, or degenerate training windows.
+pub fn cmd_stream(flags: &Flags) -> Result<String> {
+    let kind = suite_by_name(flags.optional("suite").unwrap_or("cpu2006"))?;
+    let hosts: u64 = flags.parsed_or("hosts", 1000)?;
+    let intervals: u32 = flags.parsed_or("intervals", 40)?;
+    let seed: u64 = flags.parsed_or("seed", 1)?;
+    let out = flags.required("out")?;
+    let mut fleet = stream::FleetConfig::cpu2006(hosts, intervals, seed);
+    fleet.suite = kind;
+    let mut cfg = stream::StreamConfig::new(fleet)
+        .with_shards(flags.parsed_or("shards", 4)?)
+        .with_threads(parse_threads(flags)?)
+        .with_chunk_rows(flags.parsed_or("chunk-rows", 1024)?);
+    if let Some(raw) = flags.optional("fault-seed") {
+        let fault_seed: u64 = raw
+            .parse()
+            .map_err(|_| CliError(format!("cannot parse --fault-seed value {raw:?}")))?;
+        cfg = cfg.with_faults(stream::FaultConfig::standard(fault_seed));
+    }
+    let summary = stream::run_stream(&cfg, Path::new(out))
+        .map_err(|e| CliError(format!("stream to {out}: {e}")))?;
+    let mut report = format!(
+        "sealed {} rows in {} chunks to {out}\n  duplicates dropped {}, retransmits {}, faults injected {}, torn writes repaired {}",
+        summary.rows,
+        summary.chunks,
+        summary.duplicates_dropped,
+        summary.retransmits,
+        summary.faults_injected,
+        summary.torn_writes_repaired,
+    );
+    let window_rows: u64 = flags.parsed_or("window-rows", 8192)?;
+    if window_rows == 0 || summary.rows == 0 {
+        return Ok(report);
+    }
+    let min_leaf: usize = flags.parsed_or("min-leaf", 300)?;
+    let mut refit_cfg =
+        stream::RefitConfig::new(window_rows, M5Config::default().with_min_leaf(min_leaf));
+    if let Some(raw) = flags.optional("stride") {
+        let stride: u64 = raw
+            .parse()
+            .map_err(|_| CliError(format!("cannot parse --stride value {raw:?}")))?;
+        refit_cfg = refit_cfg.with_stride(stride);
+    }
+    let file =
+        std::fs::File::open(out).map_err(|e| CliError(format!("cannot reopen {out}: {e}")))?;
+    let mut reader = pipeline::ChunkedReader::open(BufReader::new(file))
+        .map_err(|e| CliError(format!("{out}: {e}")))?;
+    let store = ArtifactStore::from_env();
+    let fits = stream::windowed_refit(&mut reader, &store, &refit_cfg)
+        .map_err(|e| CliError(format!("refit over {out}: {e}")))?;
+    let _ = write!(
+        report,
+        "\nrefit {} windows of {window_rows} rows:",
+        fits.len()
+    );
+    for fit in &fits {
+        let _ = write!(
+            report,
+            "\n  rows {:>8}..{:<8} {} {:>8.2} ms  ({} leaves)",
+            fit.window.start,
+            fit.window.end,
+            if fit.cached { "cached" } else { "fitted" },
+            fit.refit_ns as f64 / 1e6,
+            fit.tree.n_leaves(),
+        );
+    }
+    Ok(report)
+}
+
 /// `cache`: inspect or clear the environment-selected artifact store.
 ///
 /// Unlike every other subcommand this takes one positional action
@@ -802,6 +886,10 @@ USAGE:
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
   specrepro serve    --model MODEL.json [--name NAME] [--addr HOST:PORT]
                      [--window-us U] [--batch-rows N] [--queue-rows N] [--max-conns N]
+  specrepro stream   --out FILE.spdc [--suite cpu2006|omp2001] [--hosts N]
+                     [--intervals N] [--seed S] [--shards N] [--threads T]
+                     [--chunk-rows N] [--fault-seed S] [--window-rows N]
+                     [--stride N] [--min-leaf N]
   specrepro cache    stats [--json] | clear
   specrepro trace    --out FILE <command ...>
   specrepro metrics  [--json] <command ...>
@@ -827,6 +915,17 @@ Requests are coalesced into columnar batches — flushed after
 --window-us microseconds or at --batch-rows rows, whichever comes
 first; --window-us 0 disables batching. --queue-rows bounds the work
 queue (overload answers 429 + Retry-After).
+
+stream simulates a fleet of --hosts PMU-sampling hosts feeding a
+sharded aggregator and seals the rows into a chunked .spdc container
+(out-of-core readable), then refits the model over sliding windows of
+--window-rows rows (advance --stride, default half a window;
+--window-rows 0 skips refitting). Refits warm-start from the artifact
+store by window-content fingerprint. Container bytes depend only on
+the fleet, shard, and chunk configuration — never on --threads.
+--fault-seed S arms the deterministic fault injector (drops,
+duplicates, reorders, host deaths, torn chunk writes); recovery keeps
+sealed bytes identical to a clean run of the surviving rows.
 
 trace and metrics wrap any other command with telemetry enabled: trace
 writes a Chrome-trace JSON (chrome://tracing, ui.perfetto.dev) of the
@@ -868,6 +967,7 @@ pub fn run(args: &[String]) -> Result<String> {
         "stats" => cmd_stats(&flags),
         "crossval" => cmd_crossval(&flags),
         "serve" => cmd_serve(&flags),
+        "stream" => cmd_stream(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -1101,6 +1201,49 @@ mod tests {
         assert!(parsed.get("traceEvents").is_some());
         assert!(text.contains("m5.fit"), "trace lacks the fit span");
         assert!(!obskit::tracing_enabled(), "tracing left enabled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_seals_a_container_and_refits_windows() {
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spdc = dir.join("fleet.spdc");
+        let report = run(&argv(&[
+            "stream",
+            "--hosts",
+            "40",
+            "--intervals",
+            "20",
+            "--chunk-rows",
+            "128",
+            "--window-rows",
+            "400",
+            "--min-leaf",
+            "30",
+            "--fault-seed",
+            "7",
+            "--out",
+            spdc.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("sealed"), "{report}");
+        assert!(report.contains("refit"), "{report}");
+        assert!(spdc.exists());
+        // --window-rows 0 skips refitting entirely.
+        let no_refit = run(&argv(&[
+            "stream",
+            "--hosts",
+            "10",
+            "--intervals",
+            "4",
+            "--window-rows",
+            "0",
+            "--out",
+            spdc.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!no_refit.contains("refit"), "{no_refit}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

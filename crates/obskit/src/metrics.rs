@@ -101,6 +101,16 @@ define_metrics! {
     ServeRejectedBusy, "serve.rejected_busy", Counter;
     ServeBadRequests, "serve.bad_requests", Counter;
     ServeModelSwaps, "serve.model_swaps", Counter;
+    // Streaming ingestion and out-of-core training (crates/stream).
+    StreamRowsIngested, "stream.rows_ingested", Counter;
+    StreamChunksSealed, "stream.chunks_sealed", Counter;
+    StreamDuplicatesDropped, "stream.duplicates_dropped", Counter;
+    StreamRetransmits, "stream.retransmits", Counter;
+    StreamFaultsInjected, "stream.faults_injected", Counter;
+    StreamChunkRecoveries, "stream.chunk_recoveries", Counter;
+    StreamRefits, "stream.refits", Counter;
+    StreamRefitCacheHits, "stream.refit_cache_hits", Counter;
+    StreamBacklogRows, "stream.backlog_rows", Gauge;
 }
 
 macro_rules! define_hists {
@@ -135,6 +145,8 @@ define_hists! {
     PipelineCodecDecodeNs, "pipeline.codec_decode_ns";
     ServeBatchRows, "serve.batch_rows";
     ServeRequestNs, "serve.request_ns";
+    StreamRefitNs, "stream.refit_ns";
+    StreamChunkRows, "stream.chunk_rows";
 }
 
 /// Log₂ bucket count: bucket `b` holds observations in

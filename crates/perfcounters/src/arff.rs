@@ -21,15 +21,21 @@ use std::io::{BufRead, Write};
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Returns [`DataError::Unencodable`] — before writing anything — when
+/// a benchmark name or the relation name contains a comma or line
+/// break (historically commas were silently rewritten to `_`, which
+/// made the round-trip return a different dataset than was written);
+/// propagates I/O errors from the writer.
 pub fn to_arff<W: Write>(data: &Dataset, relation: &str, mut w: W) -> Result<()> {
+    data.check_encodable_names("arff")?;
+    if relation.contains(['\n', '\r']) {
+        return Err(DataError::Unencodable(format!(
+            "relation name {relation:?} contains a line break"
+        )));
+    }
     writeln!(w, "@RELATION {relation}")?;
     writeln!(w)?;
-    let names: Vec<String> = data
-        .benchmark_names()
-        .iter()
-        .map(|n| n.replace(',', "_"))
-        .collect();
+    let names = data.benchmark_names();
     writeln!(w, "@ATTRIBUTE benchmark {{{}}}", names.join(","))?;
     for e in EventId::ALL {
         writeln!(w, "@ATTRIBUTE {} NUMERIC", e.short_name())?;
@@ -189,6 +195,29 @@ mod tests {
         text = format!("% generated for WEKA\n\n{text}");
         let back = from_arff(text.as_bytes()).unwrap();
         assert_eq!(back.len(), ds.len());
+    }
+
+    #[test]
+    fn rejects_unencodable_names_instead_of_rewriting() {
+        // Historically "a,b" became "a_b" on write, so the round-trip
+        // silently returned a different dataset. Now it is a typed
+        // error before any bytes land.
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark("a,b");
+        ds.push(Sample::zeros(1.0), l);
+        let mut buf = Vec::new();
+        let err = to_arff(&ds, "rel", &mut buf).unwrap_err();
+        assert!(matches!(err, DataError::Unencodable(_)), "{err}");
+        assert!(buf.is_empty());
+        assert!(to_arff(&tiny_dataset(), "evil\nrelation", &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let mut buf = Vec::new();
+        to_arff(&Dataset::new(), "empty", &mut buf).unwrap();
+        let back = from_arff(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]

@@ -234,6 +234,29 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_never_panic() {
+        // Zero-interval and zero-counter configurations come straight
+        // out of fuzzing the streaming generator's config surface; the
+        // bank must clamp, not divide by zero.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut truth = Sample::zeros(1.1);
+        truth.set(EventId::Load, 0.3);
+        for (interval, counters) in [(0u64, 0usize), (0, 2), (2_000_000, 0), (1, 1)] {
+            let bank = CounterBank::new(CounterConfig {
+                interval_instructions: interval,
+                programmable_counters: counters,
+                multiplexing_noise: true,
+            });
+            assert!(bank.observation_window() >= 1);
+            assert!(bank.rotation_slots() >= 1);
+            let m = bank.measure(&truth, &mut rng);
+            assert_eq!(m.cpi(), 1.1);
+            assert!(m.get(EventId::Load) >= 0.0);
+            assert!(bank.relative_std_err(0.3).is_finite());
+        }
+    }
+
+    #[test]
     fn relative_std_err_monotone_in_density() {
         let bank = CounterBank::default();
         assert!(bank.relative_std_err(1e-6) > bank.relative_std_err(1e-3));

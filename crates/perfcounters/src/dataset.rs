@@ -393,13 +393,36 @@ impl Dataset {
         }
     }
 
+    /// Checks that every registered benchmark name survives a
+    /// delimiter-separated text format: commas or line breaks in a name
+    /// would shift fields or split rows, silently corrupting the file
+    /// in a way only discovered (at best) on re-read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Unencodable`] naming the offending
+    /// benchmark.
+    pub(crate) fn check_encodable_names(&self, format: &str) -> Result<()> {
+        for name in &self.benchmarks {
+            if name.contains([',', '\n', '\r']) {
+                return Err(DataError::Unencodable(format!(
+                    "benchmark name {name:?} contains a delimiter and cannot be written as {format}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the dataset as CSV: a header row, then one row per sample
     /// (`benchmark,cpi,<event columns>`).
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the writer.
+    /// Returns [`DataError::Unencodable`] — before writing anything —
+    /// when a benchmark name contains a comma or line break; propagates
+    /// I/O errors from the writer.
     pub fn to_csv<W: Write>(&self, mut w: W) -> Result<()> {
+        self.check_encodable_names("csv")?;
         write!(w, "benchmark,CPI")?;
         for e in EventId::ALL {
             write!(w, ",{}", e.short_name())?;
@@ -627,6 +650,31 @@ mod tests {
         let mut text = String::from_utf8(buf).unwrap();
         text.push_str("bad,row\n");
         assert!(Dataset::from_csv(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_unencodable_names_before_writing() {
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark("bad,name");
+        ds.push(Sample::zeros(1.0), l);
+        let mut buf = Vec::new();
+        let err = ds.to_csv(&mut buf).unwrap_err();
+        assert!(matches!(err, DataError::Unencodable(_)), "{err}");
+        assert!(buf.is_empty(), "refused write still produced bytes");
+
+        let mut ds = Dataset::new();
+        let l = ds.add_benchmark("line\nbreak");
+        ds.push(Sample::zeros(1.0), l);
+        assert!(ds.to_csv(&mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_csv_roundtrip() {
+        let mut buf = Vec::new();
+        Dataset::new().to_csv(&mut buf).unwrap();
+        let back = Dataset::from_csv(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.benchmark_count(), 0);
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub enum DataError {
     OutOfRange(String),
     /// An operation needed more samples than the dataset holds.
     InsufficientData(String),
+    /// A value cannot be represented in the requested text format
+    /// (e.g. a benchmark name containing the format's delimiter).
+    /// Raised at write time so the defect never reaches disk.
+    Unencodable(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -66,6 +70,7 @@ impl std::fmt::Display for DataError {
             DataError::Parse(msg) => write!(f, "parse error: {msg}"),
             DataError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
             DataError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            DataError::Unencodable(msg) => write!(f, "unencodable: {msg}"),
             DataError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -27,7 +27,7 @@ const TREE_MAGIC: &[u8; 4] = b"SPMT";
 
 /// Why a cache file failed to decode (all variants are treated as a
 /// cache miss by the store; the reason feeds the stage log).
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// File too short for the region being read.
     Truncated,

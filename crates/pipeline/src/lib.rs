@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod codec;
 pub mod context;
 pub mod fingerprint;
@@ -36,6 +37,9 @@ pub mod output;
 pub mod spec;
 pub mod store;
 
+pub use chunked::{
+    decode_chunk, encode_chunk, ChunkMeta, ChunkedReader, ChunkedWriter, DecodedChunk,
+};
 pub use context::{PipelineContext, StageCounters, TransferSplit};
 pub use fingerprint::{
     dataset_content_fingerprint, Fingerprint, FingerprintHasher, Fingerprintable, SCHEMA_VERSION,

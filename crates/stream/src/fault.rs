@@ -1,0 +1,222 @@
+//! Deterministic, content-keyed fault injection.
+//!
+//! Every decision is a pure function of the fault seed and the
+//! *identity* of the thing being faulted — `(host, seq)` for transport
+//! faults, the global chunk index for torn writes — never of arrival
+//! order, wall clock, or thread id. Two runs with the same seed inject
+//! the same fault schedule on any thread count, which is what lets the
+//! test suite assert byte-identical output under fire.
+
+/// SplitMix64-style finalizer over a seed and two identity words.
+pub(crate) fn mix3(seed: u64, a: u64, b: u64) -> u64 {
+    let mut x =
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Domain separators so the per-fault decision streams are independent.
+const DOM_DROP: u64 = 0x01;
+const DOM_DUP: u64 = 0x02;
+const DOM_REORDER: u64 = 0x03;
+const DOM_DEATH: u64 = 0x04;
+const DOM_TRUNCATE: u64 = 0x05;
+
+/// Seeded fault schedule. Rates are per-mille (0 disables the fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule (independent of the fleet seed, so
+    /// the same records can be replayed under different adversaries).
+    pub seed: u64,
+    /// Probability (‰) an interval's first delivery is dropped. Dropped
+    /// intervals are retransmitted after the host's batch — drops delay
+    /// rows, they never lose them.
+    pub drop_per_mille: u32,
+    /// Probability (‰) an interval is delivered twice.
+    pub dup_per_mille: u32,
+    /// Probability (‰) a delivery is held back and released later,
+    /// arriving out of order.
+    pub reorder_per_mille: u32,
+    /// Maximum deliveries a reordered envelope is held behind.
+    pub max_delay: usize,
+    /// Probability (‰) a host dies mid-stream, emitting only a prefix
+    /// (possibly empty) of its planned intervals.
+    pub death_per_mille: u32,
+    /// Probability (‰) a chunk's first container write is torn
+    /// (truncated at a schedule-chosen byte).
+    pub truncate_per_mille: u32,
+}
+
+impl FaultConfig {
+    /// No faults: the identity transport.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            max_delay: 0,
+            death_per_mille: 0,
+            truncate_per_mille: 0,
+        }
+    }
+
+    /// The standard adversary used by CI and the fault suite: a few
+    /// percent of everything, aggressive enough to stall cursors and
+    /// tear chunk writes on every run.
+    pub fn standard(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_per_mille: 30,
+            dup_per_mille: 30,
+            reorder_per_mille: 80,
+            max_delay: 9,
+            death_per_mille: 40,
+            truncate_per_mille: 150,
+        }
+    }
+
+    /// Whether any fault has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        self.drop_per_mille > 0
+            || self.dup_per_mille > 0
+            || self.reorder_per_mille > 0
+            || self.death_per_mille > 0
+            || self.truncate_per_mille > 0
+    }
+
+    fn roll(&self, domain: u64, a: u64, b: u64) -> u64 {
+        mix3(self.seed ^ domain.wrapping_mul(0xa076_1d64_78bd_642f), a, b)
+    }
+
+    /// Whether `(host, seq)`'s first delivery is dropped (retransmit
+    /// follows).
+    pub fn drops(&self, host: u64, seq: u32) -> bool {
+        self.drop_per_mille > 0
+            && self.roll(DOM_DROP, host, u64::from(seq)) % 1000 < u64::from(self.drop_per_mille)
+    }
+
+    /// Whether `(host, seq)` is delivered twice.
+    pub fn duplicates(&self, host: u64, seq: u32) -> bool {
+        self.dup_per_mille > 0
+            && self.roll(DOM_DUP, host, u64::from(seq)) % 1000 < u64::from(self.dup_per_mille)
+    }
+
+    /// How many deliveries `(host, seq)` is held behind (0 = in order).
+    pub fn delay(&self, host: u64, seq: u32) -> usize {
+        if self.reorder_per_mille == 0 || self.max_delay == 0 {
+            return 0;
+        }
+        let r = self.roll(DOM_REORDER, host, u64::from(seq));
+        if r % 1000 < u64::from(self.reorder_per_mille) {
+            1 + ((r >> 32) as usize % self.max_delay)
+        } else {
+            0
+        }
+    }
+
+    /// The number of intervals `host` actually emits out of `planned`:
+    /// `planned` if the host survives, otherwise a schedule-chosen
+    /// prefix length in `[0, planned)` (mid-stream death).
+    pub fn produced(&self, host: u64, planned: u32) -> u32 {
+        if self.death_per_mille == 0 || planned == 0 {
+            return planned;
+        }
+        let r = self.roll(DOM_DEATH, host, u64::from(planned));
+        if r % 1000 < u64::from(self.death_per_mille) {
+            ((r >> 32) % u64::from(planned)) as u32
+        } else {
+            planned
+        }
+    }
+
+    /// If chunk `index`'s first write is torn, the byte count that
+    /// actually lands (strictly less than `body_len`).
+    pub fn truncates(&self, index: u64, body_len: usize) -> Option<usize> {
+        if self.truncate_per_mille == 0 || body_len == 0 {
+            return None;
+        }
+        let r = self.roll(DOM_TRUNCATE, index, body_len as u64);
+        if r % 1000 < u64::from(self.truncate_per_mille) {
+            Some(((r >> 32) as usize) % body_len)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let f = FaultConfig::none();
+        assert!(!f.is_active());
+        for host in 0..50u64 {
+            for seq in 0..20u32 {
+                assert!(!f.drops(host, seq));
+                assert!(!f.duplicates(host, seq));
+                assert_eq!(f.delay(host, seq), 0);
+            }
+            assert_eq!(f.produced(host, 17), 17);
+        }
+        assert_eq!(f.truncates(3, 1000), None);
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let a = FaultConfig::standard(11);
+        let b = FaultConfig::standard(11);
+        let c = FaultConfig::standard(12);
+        let mut differs = false;
+        for host in 0..200u64 {
+            for seq in 0..8u32 {
+                assert_eq!(a.drops(host, seq), b.drops(host, seq));
+                assert_eq!(a.delay(host, seq), b.delay(host, seq));
+                differs |= a.drops(host, seq) != c.drops(host, seq);
+            }
+            assert_eq!(a.produced(host, 9), b.produced(host, 9));
+        }
+        assert!(differs, "seed change never altered the schedule");
+    }
+
+    #[test]
+    fn standard_rates_land_in_band() {
+        let f = FaultConfig::standard(5);
+        let n = 20_000u64;
+        let drops = (0..n).filter(|&h| f.drops(h, 0)).count() as f64 / n as f64;
+        assert!((0.01..0.06).contains(&drops), "drop rate {drops}");
+        let deaths = (0..n).filter(|&h| f.produced(h, 10) != 10).count() as f64 / n as f64;
+        assert!((0.01..0.08).contains(&deaths), "death rate {deaths}");
+    }
+
+    #[test]
+    fn death_prefix_in_range_and_truncation_strictly_short() {
+        let f = FaultConfig::standard(7);
+        for host in 0..2000u64 {
+            let p = f.produced(host, 12);
+            assert!(p <= 12);
+        }
+        for idx in 0..2000u64 {
+            if let Some(n) = f.truncates(idx, 500) {
+                assert!(n < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_bounded_by_max() {
+        let f = FaultConfig::standard(9);
+        let mut saw_delay = false;
+        for host in 0..2000u64 {
+            let d = f.delay(host, 3);
+            assert!(d <= f.max_delay);
+            saw_delay |= d > 0;
+        }
+        assert!(saw_delay);
+    }
+}

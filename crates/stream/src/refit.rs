@@ -1,0 +1,280 @@
+//! Sliding-window refit against a sealed container.
+//!
+//! Drift tracking: the trainer refits over a window of recent rows as
+//! the stream advances. Each window is keyed by a content fingerprint —
+//! the hashes of the chunks covering it, the row range, and the full
+//! M5' configuration — and resolved through the artifact store, so a
+//! window whose bytes were already fitted (by this process, an earlier
+//! run, or another machine sharing the store) warm-starts from the
+//! cached tree instead of training. A corrupt cached artifact is
+//! evicted by the store and the window is refitted; a corrupt *chunk*
+//! surfaces as a typed [`CodecError`] for the caller's
+//! evict-and-recompute path ([`crate::StreamPlan::chunk_body`] +
+//! [`pipeline::chunked::ChunkedReader::rewrite_chunk`]).
+//!
+//! Peak memory is one window plus one chunk — never the container.
+
+use modeltree::{M5Config, ModelTree};
+use obskit::metrics::{self, Hist, Metric};
+use pipeline::chunked::ChunkedReader;
+use pipeline::codec::CodecError;
+use pipeline::{ArtifactStore, Fingerprint, FingerprintHasher, Fingerprintable};
+use std::io::{Read, Seek};
+use std::ops::Range;
+
+/// Streaming-layer error: a typed union of the layers a refit crosses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Container decode failure (corruption, truncation, staleness).
+    Codec(CodecError),
+    /// Trainer failure (degenerate window).
+    Train(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Codec(e) => write!(f, "container: {e}"),
+            StreamError::Train(e) => write!(f, "trainer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<CodecError> for StreamError {
+    fn from(e: CodecError) -> Self {
+        StreamError::Codec(e)
+    }
+}
+
+/// Sliding-window refit parameters.
+#[derive(Debug, Clone)]
+pub struct RefitConfig {
+    /// Rows per window.
+    pub window_rows: u64,
+    /// Rows the window slides between refits.
+    pub stride: u64,
+    /// Trainer configuration shared by every window.
+    pub config: M5Config,
+}
+
+impl RefitConfig {
+    /// A window of `window_rows` sliding by half a window.
+    pub fn new(window_rows: u64, config: M5Config) -> Self {
+        RefitConfig {
+            window_rows: window_rows.max(1),
+            stride: (window_rows / 2).max(1),
+            config,
+        }
+    }
+
+    /// Sets the stride.
+    #[must_use]
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        self.stride = stride.max(1);
+        self
+    }
+
+    /// The window row ranges over a container of `total` rows: strided
+    /// starts while a full window fits, or one clamped window when the
+    /// container is shorter than a window. Empty containers get none.
+    pub fn windows(&self, total: u64) -> Vec<Range<u64>> {
+        if total == 0 {
+            return Vec::new();
+        }
+        if total <= self.window_rows {
+            return std::iter::once(0..total).collect();
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + self.window_rows <= total {
+            out.push(start..start + self.window_rows);
+            start += self.stride;
+        }
+        out
+    }
+}
+
+/// One refitted (or cache-warmed) window.
+#[derive(Debug, Clone)]
+pub struct WindowFit {
+    /// Global row range the model was fitted over.
+    pub window: Range<u64>,
+    /// Content key of the window (chunk hashes + range + config).
+    pub fingerprint: Fingerprint,
+    /// Whether the tree came from the artifact store without training.
+    pub cached: bool,
+    /// Wall-clock nanoseconds the resolution took (load or fit+store).
+    pub refit_ns: u64,
+    /// The fitted model.
+    pub tree: ModelTree,
+}
+
+/// The artifact-store key of one window of one container under one
+/// trainer configuration. Pure content: two runs that sealed identical
+/// chunks produce identical keys, so refit caching is shareable across
+/// processes exactly like the batch pipeline's artifacts.
+pub fn window_key<R: Read + Seek>(
+    reader: &ChunkedReader<R>,
+    window: &Range<u64>,
+    config: &M5Config,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new("stream-window-tree");
+    let content = reader.window_fingerprint(window, "stream-window");
+    h.write_u64(content.0 as u64);
+    h.write_u64((content.0 >> 64) as u64);
+    config.fingerprint_into(&mut h);
+    h.finish()
+}
+
+/// Refits every window of the container, warm-starting from the
+/// artifact store. Returns the fits in window order.
+///
+/// # Errors
+///
+/// Propagates chunk corruption as [`StreamError::Codec`] (the caller
+/// decides whether to recompute via the plan) and trainer failures as
+/// [`StreamError::Train`].
+pub fn windowed_refit<R: Read + Seek>(
+    reader: &mut ChunkedReader<R>,
+    store: &ArtifactStore,
+    cfg: &RefitConfig,
+) -> Result<Vec<WindowFit>, StreamError> {
+    let mut fits = Vec::new();
+    for window in cfg.windows(reader.n_rows()) {
+        fits.push(refit_window(reader, store, cfg, window)?);
+    }
+    Ok(fits)
+}
+
+/// Resolves one window: artifact-store hit or fit-and-store.
+///
+/// # Errors
+///
+/// See [`windowed_refit`].
+pub fn refit_window<R: Read + Seek>(
+    reader: &mut ChunkedReader<R>,
+    store: &ArtifactStore,
+    cfg: &RefitConfig,
+    window: Range<u64>,
+) -> Result<WindowFit, StreamError> {
+    let started = std::time::Instant::now();
+    let key = window_key(reader, &window, &cfg.config);
+    if let Ok(tree) = store.load_tree(key) {
+        metrics::incr(Metric::StreamRefitCacheHits);
+        let refit_ns = started.elapsed().as_nanos() as u64;
+        metrics::observe(Hist::StreamRefitNs, refit_ns);
+        return Ok(WindowFit {
+            window,
+            fingerprint: key,
+            cached: true,
+            refit_ns,
+            tree,
+        });
+    }
+    // Miss — or a corrupt cached artifact, which load_tree evicted.
+    let data = reader.window_dataset(window.clone())?;
+    let tree = ModelTree::fit(&data, &cfg.config).map_err(|e| StreamError::Train(e.to_string()))?;
+    if let Err(e) = store.store_tree(key, &tree) {
+        // A read-only or full store degrades caching, not correctness.
+        obskit::span::emit("stream", "store_tree_failed", &[("error", &e)], false);
+    }
+    metrics::incr(Metric::StreamRefits);
+    let refit_ns = started.elapsed().as_nanos() as u64;
+    metrics::observe(Hist::StreamRefitNs, refit_ns);
+    Ok(WindowFit {
+        window,
+        fingerprint: key,
+        cached: false,
+        refit_ns,
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_stream, FleetConfig, StreamConfig, StreamPlan};
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str) -> (ArtifactStore, PathBuf) {
+        let root =
+            std::env::temp_dir().join(format!("specrepro-refit-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        (ArtifactStore::open(&root), root)
+    }
+
+    fn sealed_container(tag: &str, cfg: &StreamConfig) -> Vec<u8> {
+        let path = std::env::temp_dir().join(format!(
+            "specrepro-refit-container-{tag}-{}.spdc",
+            std::process::id()
+        ));
+        run_stream(cfg, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn windows_cover_and_clamp() {
+        let cfg = RefitConfig::new(100, M5Config::default()).with_stride(50);
+        assert_eq!(cfg.windows(0), Vec::<Range<u64>>::new());
+        assert_eq!(cfg.windows(60), vec![0..60]);
+        assert_eq!(cfg.windows(200), vec![0..100, 50..150, 100..200]);
+    }
+
+    #[test]
+    fn refit_matches_in_memory_fit_and_caches() {
+        let scfg = StreamConfig::new(FleetConfig::cpu2006(40, 10, 17))
+            .with_shards(3)
+            .with_chunk_rows(32);
+        let plan = StreamPlan::new(&scfg);
+        let bytes = sealed_container("hit", &scfg);
+        let (store, root) = temp_store("hit");
+        let rcfg = RefitConfig::new(200, M5Config::default().with_min_leaf(10));
+
+        let mut reader = ChunkedReader::open(Cursor::new(&bytes)).unwrap();
+        let fits = windowed_refit(&mut reader, &store, &rcfg).unwrap();
+        assert!(!fits.is_empty());
+        assert!(fits.iter().all(|f| !f.cached));
+
+        // Differential: each window's OOC fit equals the in-memory fit
+        // over the same rows of the naive oracle dataset.
+        let naive = plan.naive_dataset();
+        for fit in &fits {
+            let rows: Vec<u32> = (fit.window.start as u32..fit.window.end as u32).collect();
+            let direct = ModelTree::fit_indices(&naive, &rows, &rcfg.config).unwrap();
+            assert_eq!(
+                fit.tree.predict(naive.sample(rows[0] as usize)).to_bits(),
+                direct.predict(naive.sample(rows[0] as usize)).to_bits()
+            );
+        }
+
+        // Second pass over identical bytes: every window warm-starts.
+        let mut reader = ChunkedReader::open(Cursor::new(&bytes)).unwrap();
+        let again = windowed_refit(&mut reader, &store, &rcfg).unwrap();
+        assert!(again.iter().all(|f| f.cached), "cache missed on replay");
+        for (a, b) in fits.iter().zip(&again) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(
+                a.tree.predict(naive.sample(0)).to_bits(),
+                b.tree.predict(naive.sample(0)).to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn key_tracks_config_and_content() {
+        let scfg = StreamConfig::new(FleetConfig::cpu2006(20, 6, 5)).with_chunk_rows(16);
+        let bytes = sealed_container("key", &scfg);
+        let reader = ChunkedReader::open(Cursor::new(&bytes)).unwrap();
+        let base = M5Config::default();
+        let a = window_key(&reader, &(0..50), &base);
+        assert_eq!(a, window_key(&reader, &(0..50), &base));
+        assert_ne!(a, window_key(&reader, &(0..60), &base));
+        assert_ne!(a, window_key(&reader, &(0..50), &base.with_min_leaf(3)));
+    }
+}
