@@ -17,7 +17,7 @@ fn temp_store() -> ArtifactStore {
 }
 
 fn bench_pipeline_cache(c: &mut Criterion) {
-    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 2_000, 17);
+    let spec = DatasetSpec::new(SuiteKind::cpu2006(), 2_000, 17);
     let tree_spec = TreeSpec::suite_tree(spec.clone());
 
     let mut group = c.benchmark_group("pipeline_cache");

@@ -1,4 +1,4 @@
-//! Pure artifact renderers for the E2–E7 experiments.
+//! Pure artifact renderers for the E2–E8 experiments.
 //!
 //! Each function returns the exact text its experiment binary prints,
 //! so the binaries stay thin stdout wrappers and the testkit golden
@@ -13,7 +13,8 @@ use characterize::{ProfileTable, SimilarityMatrix};
 use modeltree::{display, ModelTree};
 use perfcounters::Dataset;
 use pipeline::TransferSplit;
-use transfer::{TransferConfig, TransferabilityReport};
+use transfer::matrix::hardest_member;
+use transfer::{TransferConfig, TransferMatrix, TransferabilityReport};
 
 use crate::SEED_SPLIT;
 
@@ -149,7 +150,7 @@ pub fn table3(data: &Dataset, tree: &ModelTree) -> String {
     text
 }
 
-/// Experiments E7–E9 — Section VI: t-tests and prediction-accuracy
+/// Experiment E7 — Section VI: t-tests and prediction-accuracy
 /// metrics for all four transfer directions, with bootstrap CIs.
 ///
 /// The split (the paper trains on a random 10% of each suite; CPU
@@ -245,6 +246,158 @@ pub fn transferability(
     writeln!(
         text,
         "cross-suite C = 0.4337 / MAE = 0.3721 (not transferable); symmetric for OMP2001."
+    )
+    .unwrap();
+    text
+}
+
+/// Experiment E8 — the N×N cross-generation transfer matrix: every
+/// registered suite's model assessed against every suite's held-out
+/// remainder, the per-member sub-matrix, and the transfer-decay table
+/// across CPU generations the 2008 paper could not draw.
+pub fn generation_matrix(matrix: &TransferMatrix) -> String {
+    let spec = &matrix.spec;
+    let suites = &spec.suites;
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Experiment E8: cross-generation transfer matrix ({} suites)",
+        suites.len()
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "each model trains on {:.0}% of {} samples/suite and is assessed against\n\
+         every suite's held-out remainder; member sets: {} fresh samples/benchmark\n",
+        spec.train_fraction * 100.0,
+        spec.n_samples,
+        spec.member_samples
+    )
+    .unwrap();
+
+    let header = |text: &mut String| {
+        write!(text, "{:<12}", "train\\test").unwrap();
+        for s in suites {
+            write!(text, " {:>9}", s.tag()).unwrap();
+        }
+        writeln!(text).unwrap();
+    };
+
+    writeln!(text, "correlation C (rows train, columns test):").unwrap();
+    header(&mut text);
+    for &train in suites {
+        write!(text, "{:<12}", train.tag()).unwrap();
+        for &test in suites {
+            let cell = matrix.cell(train, test).expect("complete matrix");
+            write!(text, " {:>9.4}", cell.report.metrics.correlation).unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+
+    writeln!(text, "\nmean absolute error (CPI):").unwrap();
+    header(&mut text);
+    for &train in suites {
+        write!(text, "{:<12}", train.tag()).unwrap();
+        for &test in suites {
+            let cell = matrix.cell(train, test).expect("complete matrix");
+            write!(text, " {:>9.4}", cell.report.metrics.mae).unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+
+    writeln!(text, "\nverdict (hypothesis tests + accuracy thresholds):").unwrap();
+    header(&mut text);
+    for &train in suites {
+        write!(text, "{:<12}", train.tag()).unwrap();
+        for &test in suites {
+            let cell = matrix.cell(train, test).expect("complete matrix");
+            write!(
+                text,
+                " {:>9}",
+                if cell.report.transferable() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            )
+            .unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+
+    writeln!(
+        text,
+        "\nmember-transfer sub-matrix (test-suite members passing the thresholds):"
+    )
+    .unwrap();
+    header(&mut text);
+    for &train in suites {
+        write!(text, "{:<12}", train.tag()).unwrap();
+        for &test in suites {
+            let cell = matrix.cell(train, test).expect("complete matrix");
+            let passing = cell.members.iter().filter(|m| m.transferable).count();
+            write!(text, " {:>9}", format!("{passing}/{}", cell.members.len())).unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+
+    // The headline table: how the single-threaded CPU line's models
+    // decay as the test suite's generation advances.
+    let mut cpu_line: Vec<_> = suites
+        .iter()
+        .copied()
+        .filter(|s| s.tag().starts_with("cpu"))
+        .collect();
+    cpu_line.sort_by_key(|s| s.generation());
+    writeln!(text, "\ntransfer decay over CPU generations:").unwrap();
+    writeln!(
+        text,
+        "{:<24} {:>5} {:>9} {:>9} {:>15}",
+        "train -> test", "gap", "C", "MAE", "verdict"
+    )
+    .unwrap();
+    for (i, &train) in cpu_line.iter().enumerate() {
+        for &test in &cpu_line[i..] {
+            let cell = matrix.cell(train, test).expect("complete matrix");
+            writeln!(
+                text,
+                "{:<24} {:>4}y {:>9.4} {:>9.4} {:>15}",
+                format!("{} -> {}", train.tag(), test.tag()),
+                test.generation() - train.generation(),
+                cell.report.metrics.correlation,
+                cell.report.metrics.mae,
+                if cell.report.transferable() {
+                    "TRANSFERABLE"
+                } else {
+                    "NOT TRANSFERABLE"
+                }
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(
+        text,
+        "\nweakest member coverage (per training suite, against its own members):"
+    )
+    .unwrap();
+    for &train in suites {
+        let cell = matrix.cell(train, train).expect("complete matrix");
+        let hardest = hardest_member(&cell.members).expect("suites have members");
+        writeln!(
+            text,
+            "  {:<10} hardest member {} (MAE {:.4})",
+            train.tag(),
+            hardest.benchmark,
+            hardest.metrics.mae
+        )
+        .unwrap();
+    }
+
+    writeln!(
+        text,
+        "\npaper shape, one generation out: within-suite transfer holds (diagonal),\n\
+         2006-era models degrade monotonically against 2017- and 2026-era suites."
     )
     .unwrap();
     text

@@ -39,7 +39,7 @@ fn main() {
     let out = &mut output::stdout();
 
     // A 20k subset keeps 5-fold CV fast while staying representative.
-    let spec_20k = DatasetSpec::new(SuiteKind::Cpu2006, 20_000, SEED_CPU2006);
+    let spec_20k = DatasetSpec::new(SuiteKind::cpu2006(), 20_000, SEED_CPU2006);
     let data = ctx.dataset(&spec_20k).expect("suite generates");
     let base = suite_tree_config(data.len());
 
@@ -113,7 +113,7 @@ fn main() {
         out,
         "  train OMP2001 model at contention 1.0; test on other contention levels"
     );
-    let omp_spec = DatasetSpec::new(SuiteKind::Omp2001, 20_000, SEED_CPU2006 + 1);
+    let omp_spec = DatasetSpec::new(SuiteKind::omp2001(), 20_000, SEED_CPU2006 + 1);
     let omp_tree = ctx
         .tree(&TreeSpec::suite_tree(omp_spec))
         .expect("omp dataset fits");
@@ -121,7 +121,7 @@ fn main() {
         let mut cfg = GeneratorConfig::default();
         cfg.cost = cfg.cost.with_contention(contention);
         let shifted_spec =
-            DatasetSpec::new(SuiteKind::Omp2001, 10_000, SEED_CPU2006 + 2).with_config(cfg);
+            DatasetSpec::new(SuiteKind::omp2001(), 10_000, SEED_CPU2006 + 2).with_config(cfg);
         let shifted = ctx.dataset(&shifted_spec).expect("suite generates");
         let m =
             PredictionMetrics::from_predictions(&omp_tree.predict_all(&shifted), &shifted.cpis())

@@ -1,0 +1,20 @@
+//! Experiment E8 — the N×N cross-generation transfer matrix.
+//!
+//! The paper assesses one ordered pair of 2006-era suites; the suite
+//! registry makes the modern form of that question askable: every
+//! registered suite's 10% model assessed against every suite's held-out
+//! remainder (CPU2006 → CPU2017 → CPU2026 plus the OMP2001 row), with
+//! the member-transfer sub-matrix and the transfer-decay-over-
+//! generations table. All datasets, splits, and trees resolve through
+//! the pipeline's artifact store: a warm rerun performs zero generation
+//! and zero fitting, and the matrix is bit-identical for every thread
+//! count.
+
+fn main() {
+    // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
+    let _obs = obskit::ObsSession::from_env();
+    let ctx = pipeline::PipelineContext::from_env();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let matrix = spec_bench::matrix_artifacts(&ctx, threads);
+    pipeline::output::print(&spec_bench::artifacts::generation_matrix(&matrix));
+}

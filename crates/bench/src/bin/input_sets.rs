@@ -23,7 +23,7 @@ fn main() {
     let ctx = PipelineContext::from_env();
     let out = &mut output::stdout();
 
-    let reference_spec = DatasetSpec::new(SuiteKind::Cpu2006, 30_000, SEED_CPU2006);
+    let reference_spec = DatasetSpec::new(SuiteKind::cpu2006(), 30_000, SEED_CPU2006);
     let reference = ctx.dataset(&reference_spec).expect("suite generates");
     let tree = ctx
         .tree(&TreeSpec::suite_tree(reference_spec))
@@ -45,7 +45,7 @@ fn main() {
     );
     for factor in [0.4, 0.6, 0.8, 1.0, 1.25, 1.5] {
         let variant =
-            DatasetSpec::new(SuiteKind::Cpu2006, 10_000, SEED_SPLIT).with_memory_pressure(factor);
+            DatasetSpec::new(SuiteKind::cpu2006(), 10_000, SEED_SPLIT).with_memory_pressure(factor);
         let data = ctx.dataset(&variant).expect("suite generates");
         let metrics = PredictionMetrics::from_predictions(&tree.predict_all(&data), &data.cpis())
             .expect("non-empty data");
@@ -66,7 +66,7 @@ fn main() {
 
     // Full Section VI treatment of the most-shrunk input set.
     let small_spec =
-        DatasetSpec::new(SuiteKind::Cpu2006, 10_000, SEED_SPLIT + 1).with_memory_pressure(0.4);
+        DatasetSpec::new(SuiteKind::cpu2006(), 10_000, SEED_SPLIT + 1).with_memory_pressure(0.4);
     let small = ctx.dataset(&small_spec).expect("suite generates");
     let report = TransferabilityReport::assess(
         &tree,

@@ -10,7 +10,9 @@
 //! samples) mark the suite model's weakest coverage.
 //!
 //! The half-suite training splits, the trees, and every per-member
-//! dataset resolve through the pipeline's artifact store.
+//! dataset resolve through the pipeline's artifact store; the member
+//! evaluation itself is the `transfer::matrix` member-level assessment,
+//! so this bin is a thin renderer over the same machinery as E8.
 
 use std::io::Write;
 
@@ -18,7 +20,8 @@ use pipeline::{
     output, DatasetInput, DatasetSpec, PipelineContext, SplitPart, SplitSpec, TreeSpec,
 };
 use spec_bench::{suite_tree_config, SEED_SPLIT};
-use spec_stats::{AcceptanceThresholds, PredictionMetrics};
+use spec_stats::AcceptanceThresholds;
+use transfer::matrix::{hardest_member, member_datasets, member_rows};
 
 fn member_table(out: &mut impl Write, ctx: &PipelineContext, base: DatasetSpec, seed: u64) {
     let kind = base.suite;
@@ -31,7 +34,10 @@ fn member_table(out: &mut impl Write, ctx: &PipelineContext, base: DatasetSpec, 
             input: DatasetInput::SplitPart(split, SplitPart::First),
         })
         .expect("training half fits");
-    let thresholds = AcceptanceThresholds::default();
+
+    let members = member_datasets(ctx, kind, 4_000, seed ^ 0xbe9c).expect("members of suite");
+    let rows = member_rows(&tree, &members, &AcceptanceThresholds::default())
+        .expect("non-empty member sets");
 
     let _ = writeln!(
         out,
@@ -44,29 +50,23 @@ fn member_table(out: &mut impl Write, ctx: &PipelineContext, base: DatasetSpec, 
         "{:<18} {:>8} {:>8} {:>9} {:>14}",
         "benchmark", "C", "MAE", "mean CPI", "transferable?"
     );
-    let mut worst: Option<(String, f64)> = None;
-    for bench in suite.benchmarks() {
-        let member_spec = DatasetSpec::new(kind, 4_000, seed ^ 0xbe9c).with_benchmark(bench.name());
-        let member = ctx.dataset(&member_spec).expect("member of suite");
-        let metrics =
-            PredictionMetrics::from_predictions(&tree.predict_all(&member), &member.cpis())
-                .expect("non-empty member set");
-        let ok = metrics.acceptable(&thresholds);
+    for row in &rows {
         let _ = writeln!(
             out,
             "{:<18} {:>8.4} {:>8.4} {:>9.3} {:>14}",
-            bench.name(),
-            metrics.correlation,
-            metrics.mae,
-            metrics.mean_actual,
-            if ok { "yes" } else { "NO" }
+            row.benchmark,
+            row.metrics.correlation,
+            row.metrics.mae,
+            row.metrics.mean_actual,
+            if row.transferable { "yes" } else { "NO" }
         );
-        if worst.as_ref().is_none_or(|(_, m)| metrics.mae > *m) {
-            worst = Some((bench.name().to_owned(), metrics.mae));
-        }
     }
-    if let Some((name, mae)) = worst {
-        let _ = writeln!(out, "  hardest member: {name} (MAE {mae:.4})\n");
+    if let Some(worst) = hardest_member(&rows) {
+        let _ = writeln!(
+            out,
+            "  hardest member: {} (MAE {:.4})\n",
+            worst.benchmark, worst.metrics.mae
+        );
     }
 }
 

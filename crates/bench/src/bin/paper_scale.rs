@@ -44,8 +44,8 @@ fn main() {
     let out = &mut output::stdout();
 
     let spec = TransferSplitSpec {
-        cpu: DatasetSpec::new(SuiteKind::Cpu2006, n_cpu, SEED_CPU2006),
-        omp: DatasetSpec::new(SuiteKind::Omp2001, n_omp, SEED_OMP2001),
+        cpu: DatasetSpec::new(SuiteKind::cpu2006(), n_cpu, SEED_CPU2006),
+        omp: DatasetSpec::new(SuiteKind::omp2001(), n_omp, SEED_OMP2001),
         seed: SEED_SPLIT,
         fraction: 0.10,
     };

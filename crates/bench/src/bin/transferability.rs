@@ -1,4 +1,4 @@
-//! Experiments E7–E9 — regenerates Section VI: the two-sample t-tests
+//! Experiment E7 — regenerates Section VI: the two-sample t-tests
 //! and prediction-accuracy metrics for all four transfer directions.
 //!
 //! All rendering lives in [`spec_bench::artifacts`] so the testkit

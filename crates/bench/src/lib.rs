@@ -13,6 +13,7 @@ use modeltree::ModelTree;
 use perfcounters::Dataset;
 use pipeline::{DatasetSpec, PipelineContext, TransferSplit, TransferSplitSpec, TreeSpec};
 use std::sync::Arc;
+use transfer::{MatrixSpec, TransferMatrix};
 
 pub mod artifacts;
 
@@ -94,6 +95,14 @@ pub fn transfer_artifacts(
         .transfer_split(&spec)
         .expect("canonical suites generate");
     (split, cpu_tree, omp_tree)
+}
+
+/// Resolves the canonical E8 cross-generation transfer matrix through
+/// `ctx`. The thread count only affects wall clock — the matrix is
+/// bit-identical for every value.
+pub fn matrix_artifacts(ctx: &PipelineContext, n_threads: usize) -> TransferMatrix {
+    TransferMatrix::assess_all(ctx, &MatrixSpec::canonical(), n_threads)
+        .expect("canonical suites assess")
 }
 
 #[cfg(test)]

@@ -186,12 +186,46 @@ fn parse_threads(flags: &Flags) -> Result<usize> {
 }
 
 fn suite_by_name(name: &str) -> Result<SuiteKind> {
-    match name {
-        "cpu2006" => Ok(SuiteKind::Cpu2006),
-        "omp2001" => Ok(SuiteKind::Omp2001),
-        other => Err(CliError(format!(
-            "unknown suite {other:?} (expected cpu2006 or omp2001)"
+    SuiteKind::by_tag(name).ok_or_else(|| {
+        let registered = SuiteKind::all()
+            .iter()
+            .map(|k| k.tag())
+            .collect::<Vec<_>>()
+            .join(", ");
+        CliError(format!(
+            "unknown suite {name:?} (expected one of: {registered})"
+        ))
+    })
+}
+
+/// `suite list`: render the registered suites as a table.
+fn cmd_suite(args: &[String]) -> Result<String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let mut out = format!(
+                "{:<10} {:<14} {:>10} {:>16} {:>10}\n",
+                "tag", "name", "generation", "environment", "benchmarks"
+            );
+            for kind in SuiteKind::all() {
+                let suite = kind.materialize();
+                out.push_str(&format!(
+                    "{:<10} {:<14} {:>10} {:>16} {:>10}\n",
+                    kind.tag(),
+                    kind.display_name(),
+                    kind.generation(),
+                    match suite.environment() {
+                        workloads::Environment::SingleThreaded => "single-threaded",
+                        workloads::Environment::MultiThreaded => "multi-threaded",
+                    },
+                    suite.benchmarks().len()
+                ));
+            }
+            Ok(out)
+        }
+        Some(other) => Err(CliError(format!(
+            "unknown suite action {other:?} (expected: list)"
         ))),
+        None => Err(CliError("usage: specrepro suite list".into())),
     }
 }
 
@@ -499,10 +533,21 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
     ))
 }
 
+/// Where `serve` gets its initial model from.
+enum ServeModel<'a> {
+    /// A fitted tree serialized to a JSON file.
+    File(&'a str),
+    /// The canonical headline tree of a registered suite, resolved
+    /// through the pipeline (cached after the first fit).
+    Suite(SuiteKind),
+}
+
 /// `serve`: host a fitted model behind the HTTP prediction service.
 ///
 /// Loads `--model FILE` into the hot-swappable registry (named by its
-/// file stem unless `--name` overrides), binds `--addr`, and blocks
+/// file stem unless `--name` overrides) — or, with `--suite NAME`,
+/// resolves the suite's canonical headline tree through the pipeline
+/// (warm runs replay the cached tree) — binds `--addr`, and blocks
 /// until a client POSTs `/shutdown`. The environment-selected artifact
 /// store is attached so `POST /swap {"model":NAME,"key":HEX}` can
 /// promote any cached tree by fingerprint with zero downtime. Metrics
@@ -517,7 +562,16 @@ pub fn cmd_crossval(flags: &Flags) -> Result<String> {
 /// Fails on an unreadable model file, invalid flags, or when the
 /// address cannot be bound.
 pub fn cmd_serve(flags: &Flags) -> Result<String> {
-    let path = flags.required("model")?;
+    let source = match (flags.optional("model"), flags.optional("suite")) {
+        (Some(path), None) => ServeModel::File(path),
+        (None, Some(suite)) => ServeModel::Suite(suite_by_name(suite)?),
+        (Some(_), Some(_)) => {
+            return Err(CliError(
+                "--model and --suite are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => return Err(CliError("serve needs --model FILE or --suite NAME".into())),
+    };
     let window_us: u64 = flags.parsed_or("window-us", 200)?;
     let max_batch_rows: usize = flags.parsed_or("batch-rows", 4096)?;
     let queue_rows: usize = flags.parsed_or("queue-rows", 16_384)?;
@@ -528,14 +582,27 @@ pub fn cmd_serve(flags: &Flags) -> Result<String> {
         ));
     }
     let addr = flags.optional("addr").unwrap_or("127.0.0.1:8080");
-    let tree = read_model(path)?;
+    let (tree, default_name) = match &source {
+        ServeModel::File(path) => (
+            read_model(path)?,
+            Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("model")
+                .to_owned(),
+        ),
+        ServeModel::Suite(kind) => {
+            let ctx = PipelineContext::from_env();
+            let spec = pipeline::TreeSpec::suite_tree(DatasetSpec::canonical(*kind));
+            let tree = ctx
+                .tree(&spec)
+                .map_err(|e| CliError(format!("cannot fit {} suite tree: {e}", kind.tag())))?;
+            ((*tree).clone(), kind.tag().to_owned())
+        }
+    };
     let name = match flags.optional("name") {
         Some(name) => name.to_owned(),
-        None => Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("model")
-            .to_owned(),
+        None => default_name,
     };
     obskit::set_enabled(true, false);
     let registry = std::sync::Arc::new(serve::ModelRegistry::new());
@@ -868,10 +935,12 @@ fn human_bytes(n: u64) -> String {
 
 /// Usage text.
 pub const USAGE: &str = "\
-specrepro — SPEC CPU2006 / OMP2001 characterization toolkit
+specrepro — SPEC suite characterization toolkit (cpu2006, omp2001,
+cpu2017, cpu2026; `specrepro suite list` enumerates the registry)
 
 USAGE:
-  specrepro generate --suite cpu2006|omp2001 --out FILE [--samples N] [--seed S]
+  specrepro suite    list
+  specrepro generate --suite NAME --out FILE [--samples N] [--seed S]
                      [--threads T]
   specrepro fit      --data FILE [--out MODEL.json] [--min-leaf N] [--sd-fraction F]
                      [--print summary|tree|models|importance|dot] [--threads T]
@@ -884,15 +953,20 @@ USAGE:
   specrepro explain  --model MODEL.json --data FILE [--row N]
   specrepro stats    --data FILE
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
-  specrepro serve    --model MODEL.json [--name NAME] [--addr HOST:PORT]
-                     [--window-us U] [--batch-rows N] [--queue-rows N] [--max-conns N]
-  specrepro stream   --out FILE.spdc [--suite cpu2006|omp2001] [--hosts N]
+  specrepro serve    --model MODEL.json | --suite NAME [--name NAME]
+                     [--addr HOST:PORT] [--window-us U] [--batch-rows N]
+                     [--queue-rows N] [--max-conns N]
+  specrepro stream   --out FILE.spdc [--suite NAME] [--hosts N]
                      [--intervals N] [--seed S] [--shards N] [--threads T]
                      [--chunk-rows N] [--fault-seed S] [--window-rows N]
                      [--stride N] [--min-leaf N]
   specrepro cache    stats [--json] | clear
   specrepro trace    --out FILE <command ...>
   specrepro metrics  [--json] <command ...>
+
+--suite NAME resolves through the generation-parameterized suite
+registry; `specrepro suite list` prints every registered suite with its
+generation, environment, and benchmark count.
 
 Dataset files: .csv, .arff (WEKA), or .json by extension.
 --threads parallelizes fitting and generation. Fitted trees are
@@ -943,8 +1017,12 @@ pub fn run(args: &[String]) -> Result<String> {
     let (command, rest) = args
         .split_first()
         .ok_or_else(|| CliError(format!("no command given\n\n{USAGE}")))?;
-    // `cache`, `trace`, and `metrics` take positional arguments, which
-    // `Flags::parse` rejects, so they dispatch before flag parsing.
+    // `suite`, `cache`, `trace`, and `metrics` take positional
+    // arguments, which `Flags::parse` rejects, so they dispatch before
+    // flag parsing.
+    if command == "suite" {
+        return cmd_suite(rest);
+    }
     if command == "cache" {
         return cmd_cache(rest);
     }
@@ -1009,7 +1087,39 @@ mod tests {
     #[test]
     fn unknown_suite_rejected() {
         let f = Flags::parse(&argv(&["--suite", "spec95", "--out", "/tmp/x.csv"])).unwrap();
-        assert!(cmd_generate(&f).is_err());
+        let err = cmd_generate(&f).unwrap_err();
+        // The error enumerates the live registry, not a hardcoded pair.
+        for kind in SuiteKind::all() {
+            assert!(err.0.contains(kind.tag()), "{err}");
+        }
+    }
+
+    #[test]
+    fn suite_list_enumerates_the_registry() {
+        let out = run(&argv(&["suite", "list"])).unwrap();
+        for kind in SuiteKind::all() {
+            assert!(out.contains(kind.tag()), "missing {}: {out}", kind.tag());
+            assert!(out.contains(&kind.generation().to_string()), "{out}");
+        }
+        assert!(out.contains("single-threaded") && out.contains("multi-threaded"));
+        let err = run(&argv(&["suite", "frobnicate"])).unwrap_err();
+        assert!(err.0.contains("unknown suite action"), "{err}");
+        assert!(run(&argv(&["suite"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_model_sources() {
+        let f = Flags::parse(&argv(&[
+            "--model",
+            "/nonexistent/model.json",
+            "--suite",
+            "cpu2006",
+        ]))
+        .unwrap();
+        let err = cmd_serve(&f).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{err}");
+        let f = Flags::parse(&argv(&["--suite", "spec95"])).unwrap();
+        assert!(cmd_serve(&f).is_err());
     }
 
     #[test]

@@ -523,7 +523,7 @@ mod tests {
     use crate::spec::{suite_tree_config, SuiteKind};
 
     fn small_spec() -> DatasetSpec {
-        DatasetSpec::new(SuiteKind::Cpu2006, 600, 11)
+        DatasetSpec::new(SuiteKind::cpu2006(), 600, 11)
     }
 
     fn temp_store(tag: &str) -> ArtifactStore {
@@ -587,8 +587,8 @@ mod tests {
     fn transfer_split_fully_cached_on_rerun() {
         let store = temp_store("transfer");
         let spec = TransferSplitSpec {
-            cpu: DatasetSpec::new(SuiteKind::Cpu2006, 500, 1),
-            omp: DatasetSpec::new(SuiteKind::Omp2001, 400, 2),
+            cpu: DatasetSpec::new(SuiteKind::cpu2006(), 500, 1),
+            omp: DatasetSpec::new(SuiteKind::omp2001(), 400, 2),
             seed: 3,
             fraction: 0.10,
         };

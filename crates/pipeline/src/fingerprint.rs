@@ -196,6 +196,53 @@ impl Fingerprintable for modeltree::M5Config {
     }
 }
 
+/// Content fingerprint of a suite definition: identifier, generation,
+/// environment, and the complete phase-mixture parameterization of
+/// every benchmark model (each event's density spec, in
+/// [`EventId::ALL`](perfcounters::EventId::ALL) order). This is how
+/// registry suites without a frozen legacy token are identified in
+/// dataset cache keys — any change to a suite's content re-keys its
+/// artifacts, and the key is independent of where the suite sits in a
+/// registry (content only, no insertion order).
+pub fn suite_def_fingerprint(def: &workloads::SuiteDef) -> Fingerprint {
+    use workloads::phases::EventSpec;
+    let mut h = FingerprintHasher::new("suite-def");
+    h.write_str(def.tag);
+    h.write_str(def.display_name);
+    h.write_u32(u32::from(def.generation));
+    h.write_str(match def.environment {
+        workloads::Environment::SingleThreaded => "single-threaded",
+        workloads::Environment::MultiThreaded => "multi-threaded",
+    });
+    let benchmarks = (def.benchmarks)();
+    h.write_usize(benchmarks.len());
+    for b in &benchmarks {
+        h.write_str(b.name());
+        h.write_f64(b.weight());
+        h.write_usize(b.phases().len());
+        for p in b.phases() {
+            h.write_str(p.name());
+            h.write_f64(p.weight());
+            for e in perfcounters::EventId::ALL {
+                match p.spec(e) {
+                    EventSpec::Independent(d) => {
+                        h.write_bool(false);
+                        h.write_f64(d.mean);
+                        h.write_f64(d.cv);
+                    }
+                    EventSpec::Linked { source, ratio, cv } => {
+                        h.write_bool(true);
+                        h.write_usize(source.index());
+                        h.write_f64(ratio);
+                        h.write_f64(cv);
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Content fingerprint of a dataset's full observable state (samples,
 /// labels, name table), bit-exact over every float. Used to key stages
 /// whose input is an externally supplied dataset (e.g. `specrepro fit

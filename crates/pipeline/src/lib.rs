@@ -42,11 +42,12 @@ pub use chunked::{
 };
 pub use context::{PipelineContext, StageCounters, TransferSplit};
 pub use fingerprint::{
-    dataset_content_fingerprint, Fingerprint, FingerprintHasher, Fingerprintable, SCHEMA_VERSION,
+    dataset_content_fingerprint, suite_def_fingerprint, Fingerprint, FingerprintHasher,
+    Fingerprintable, SCHEMA_VERSION,
 };
 pub use spec::{
     suite_tree_config, DatasetInput, DatasetSpec, PipelineError, RngStreams, SplitPart, SplitSpec,
-    SuiteKind, TransferPart, TransferSplitSpec, TreeSpec, N_SAMPLES, SEED_CPU2006, SEED_OMP2001,
-    SEED_SPLIT,
+    SuiteKind, TransferPart, TransferSplitSpec, TreeSpec, N_SAMPLES, SEED_CPU2006, SEED_CPU2017,
+    SEED_CPU2026, SEED_MATRIX, SEED_OMP2001, SEED_SPLIT,
 };
 pub use store::{ArtifactStore, StoreStats, CACHE_DIR_ENV};

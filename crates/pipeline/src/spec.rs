@@ -24,6 +24,7 @@ use perfcounters::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::generator::{GeneratorConfig, Suite};
+use workloads::registry::{SuiteDef, SuiteRegistry};
 
 /// A pipeline failure: unknown benchmark, degenerate training data, …
 #[derive(Debug)]
@@ -46,30 +47,141 @@ impl From<modeltree::TreeError> for PipelineError {
 /// Convenience alias for pipeline results.
 pub type Result<T> = std::result::Result<T, PipelineError>;
 
-/// Which synthetic suite a dataset comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SuiteKind {
-    /// SPEC CPU2006 (29 single-threaded benchmarks).
-    Cpu2006,
-    /// SPEC OMP2001 medium (11 multi-threaded benchmarks).
-    Omp2001,
+/// Which registered suite a dataset comes from: a handle onto one
+/// [`SuiteDef`] in the generation-parameterized suite registry.
+///
+/// Identity is the definition's *tag* (two handles onto equally-tagged
+/// defs are equal), and the fingerprint identity is
+/// [`SuiteKind::fingerprint_token`]: the frozen pre-registry literal
+/// for the two legacy suites, a content fingerprint of the full
+/// definition for everything newer.
+#[derive(Clone, Copy)]
+pub struct SuiteKind {
+    def: &'static SuiteDef,
 }
 
+impl std::fmt::Debug for SuiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SuiteKind({})", self.def.tag)
+    }
+}
+
+impl PartialEq for SuiteKind {
+    fn eq(&self, other: &Self) -> bool {
+        self.def.tag == other.def.tag
+    }
+}
+
+impl Eq for SuiteKind {}
+
 impl SuiteKind {
-    /// Stable tag used in fingerprints and logs.
+    /// Wraps one registered (or ad-hoc static) suite definition.
+    pub fn from_def(def: &'static SuiteDef) -> Self {
+        SuiteKind { def }
+    }
+
+    /// SPEC CPU2006 (29 single-threaded benchmarks, generation 2006).
+    pub fn cpu2006() -> Self {
+        SuiteKind::from_def(&workloads::registry::CPU2006)
+    }
+
+    /// SPEC OMP2001 medium (11 multi-threaded benchmarks, generation
+    /// 2001).
+    pub fn omp2001() -> Self {
+        SuiteKind::from_def(&workloads::registry::OMP2001)
+    }
+
+    /// SPEC CPU2017 rate (23 single-threaded benchmarks, generation
+    /// 2017).
+    pub fn cpu2017() -> Self {
+        SuiteKind::from_def(&workloads::registry::CPU2017)
+    }
+
+    /// The CPU2026-style suite (15 single-threaded benchmarks,
+    /// generation 2026).
+    pub fn cpu2026() -> Self {
+        SuiteKind::from_def(&workloads::registry::CPU2026)
+    }
+
+    /// Looks a suite up in the global registry by its tag.
+    pub fn by_tag(tag: &str) -> Option<Self> {
+        SuiteRegistry::global().by_tag(tag).map(SuiteKind::from_def)
+    }
+
+    /// Every suite in the global registry, in registry order.
+    pub fn all() -> Vec<SuiteKind> {
+        SuiteRegistry::global()
+            .defs()
+            .iter()
+            .map(|&def| SuiteKind::from_def(def))
+            .collect()
+    }
+
+    /// Stable registry tag, used in logs and the CLI.
     pub fn tag(self) -> &'static str {
-        match self {
-            SuiteKind::Cpu2006 => "cpu2006",
-            SuiteKind::Omp2001 => "omp2001",
+        self.def.tag
+    }
+
+    /// Human-readable suite name.
+    pub fn display_name(self) -> &'static str {
+        self.def.display_name
+    }
+
+    /// Benchmark-suite generation year.
+    pub fn generation(self) -> u16 {
+        self.def.generation
+    }
+
+    /// The underlying registry definition.
+    pub fn def(self) -> &'static SuiteDef {
+        self.def
+    }
+
+    /// The canonical whole-suite generation seed of this suite (the
+    /// registry constants for the suites that have one; a stable
+    /// tag-derived seed otherwise).
+    pub fn canonical_seed(self) -> u64 {
+        match self.def.tag {
+            "cpu2006" => SEED_CPU2006,
+            "omp2001" => SEED_OMP2001,
+            "cpu2017" => SEED_CPU2017,
+            "cpu2026" => SEED_CPU2026,
+            other => {
+                // FNV-1a over the tag: stable, content-derived.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in other.bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
         }
+    }
+
+    /// The token identifying this suite inside dataset fingerprints:
+    /// the frozen literal (`"cpu2006"` / `"omp2001"`) for the legacy
+    /// suites — keeping every pre-registry artifact key bit-stable —
+    /// and `"sdef-<32 hex digits>"` of the definition's content
+    /// fingerprint for every other suite. Computed once per definition
+    /// and cached for the life of the process.
+    pub fn fingerprint_token(self) -> &'static str {
+        if let Some(token) = self.def.legacy_token {
+            return token;
+        }
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static TOKENS: OnceLock<Mutex<HashMap<usize, &'static str>>> = OnceLock::new();
+        let tokens = TOKENS.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = self.def as *const SuiteDef as usize;
+        let mut map = tokens.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key).or_insert_with(|| {
+            let fp = crate::fingerprint::suite_def_fingerprint(self.def);
+            Box::leak(format!("sdef-{}", fp.to_hex()).into_boxed_str())
+        })
     }
 
     /// Builds the suite model.
     pub fn materialize(self) -> Suite {
-        match self {
-            SuiteKind::Cpu2006 => Suite::cpu2006(),
-            SuiteKind::Omp2001 => Suite::omp2001(),
-        }
+        self.def.materialize()
     }
 }
 
@@ -121,14 +233,20 @@ impl DatasetSpec {
         }
     }
 
+    /// The canonical 60k-sample dataset of any registered suite
+    /// ([`N_SAMPLES`] samples at the suite's canonical seed).
+    pub fn canonical(suite: SuiteKind) -> Self {
+        DatasetSpec::new(suite, N_SAMPLES, suite.canonical_seed())
+    }
+
     /// The canonical 60k-sample SPEC CPU2006 experiment dataset.
     pub fn cpu2006() -> Self {
-        DatasetSpec::new(SuiteKind::Cpu2006, N_SAMPLES, SEED_CPU2006)
+        DatasetSpec::canonical(SuiteKind::cpu2006())
     }
 
     /// The canonical 60k-sample SPEC OMP2001 experiment dataset.
     pub fn omp2001() -> Self {
-        DatasetSpec::new(SuiteKind::Omp2001, N_SAMPLES, SEED_OMP2001)
+        DatasetSpec::canonical(SuiteKind::omp2001())
     }
 
     /// Overrides the sample count.
@@ -235,7 +353,7 @@ impl DatasetSpec {
 
 impl Fingerprintable for DatasetSpec {
     fn fingerprint_into(&self, h: &mut FingerprintHasher) {
-        h.write_str(self.suite.tag());
+        h.write_str(self.suite.fingerprint_token());
         h.write_opt_f64(self.memory_pressure);
         h.write_opt_str(self.benchmark.as_deref());
         h.write_usize(self.n_samples);
@@ -510,6 +628,12 @@ pub const SEED_CPU2006: u64 = 20_080_401;
 pub const SEED_OMP2001: u64 = 20_080_402;
 /// Seed for train/test splitting in the transferability experiments.
 pub const SEED_SPLIT: u64 = 20_080_403;
+/// Seed for the SPEC CPU2017 dataset used by the transfer matrix.
+pub const SEED_CPU2017: u64 = 20_080_404;
+/// Seed for the CPU2026-style dataset used by the transfer matrix.
+pub const SEED_CPU2026: u64 = 20_080_405;
+/// Seed of the cross-generation transfer-matrix split protocol.
+pub const SEED_MATRIX: u64 = 20_080_406;
 /// Number of interval samples generated per suite.
 pub const N_SAMPLES: usize = 60_000;
 
@@ -528,6 +652,66 @@ mod tests {
     use super::*;
 
     #[test]
+    fn legacy_suites_fingerprint_by_frozen_token() {
+        // The artifact-store compatibility contract: the two
+        // pre-registry suites keep their literal tokens forever.
+        assert_eq!(SuiteKind::cpu2006().fingerprint_token(), "cpu2006");
+        assert_eq!(SuiteKind::omp2001().fingerprint_token(), "omp2001");
+    }
+
+    #[test]
+    fn new_suites_fingerprint_by_content() {
+        for kind in [SuiteKind::cpu2017(), SuiteKind::cpu2026()] {
+            let token = kind.fingerprint_token();
+            assert!(token.starts_with("sdef-"), "{token}");
+            assert_eq!(token.len(), "sdef-".len() + 32, "{token}");
+            // Stable across calls (cached) and equal to the direct
+            // content fingerprint.
+            assert_eq!(token, kind.fingerprint_token());
+            let direct = crate::fingerprint::suite_def_fingerprint(kind.def());
+            assert_eq!(token, format!("sdef-{}", direct.to_hex()));
+        }
+        assert_ne!(
+            SuiteKind::cpu2017().fingerprint_token(),
+            SuiteKind::cpu2026().fingerprint_token()
+        );
+    }
+
+    #[test]
+    fn registry_lookup_round_trips_every_suite() {
+        let all = SuiteKind::all();
+        assert_eq!(all.len(), 4);
+        for kind in all {
+            assert_eq!(SuiteKind::by_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(SuiteKind::by_tag("spec95"), None);
+    }
+
+    #[test]
+    fn canonical_seeds_are_distinct_per_suite() {
+        let seeds: std::collections::BTreeSet<u64> = SuiteKind::all()
+            .into_iter()
+            .map(SuiteKind::canonical_seed)
+            .collect();
+        assert_eq!(seeds.len(), 4);
+        assert_eq!(SuiteKind::cpu2017().canonical_seed(), SEED_CPU2017);
+        assert_eq!(SuiteKind::cpu2026().canonical_seed(), SEED_CPU2026);
+    }
+
+    #[test]
+    fn canonical_dataset_specs_cover_new_generations() {
+        let spec = DatasetSpec::canonical(SuiteKind::cpu2017());
+        assert_eq!(spec.n_samples, N_SAMPLES);
+        assert_eq!(spec.seed, SEED_CPU2017);
+        // And the canonical legacy constructors route through the same
+        // path without changing their keys.
+        assert_eq!(
+            DatasetSpec::canonical(SuiteKind::cpu2006()).fingerprint(),
+            DatasetSpec::cpu2006().fingerprint()
+        );
+    }
+
+    #[test]
     fn canonical_specs_match_legacy_constants() {
         let cpu = DatasetSpec::cpu2006();
         assert_eq!(cpu.seed, SEED_CPU2006);
@@ -538,7 +722,7 @@ mod tests {
 
     #[test]
     fn dataset_compute_matches_direct_generation() {
-        let spec = DatasetSpec::new(SuiteKind::Cpu2006, 300, 7);
+        let spec = DatasetSpec::new(SuiteKind::cpu2006(), 300, 7);
         let via_spec = spec.compute(1).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let direct = Suite::cpu2006().generate(&mut rng, 300, &GeneratorConfig::default());
@@ -547,11 +731,11 @@ mod tests {
 
     #[test]
     fn every_spec_field_changes_the_fingerprint() {
-        let base = DatasetSpec::new(SuiteKind::Cpu2006, 1000, 1);
+        let base = DatasetSpec::new(SuiteKind::cpu2006(), 1000, 1);
         let mut custom = GeneratorConfig::default();
         custom.cost.noise_sigma = 0.01;
         let variants = [
-            DatasetSpec::new(SuiteKind::Omp2001, 1000, 1),
+            DatasetSpec::new(SuiteKind::omp2001(), 1000, 1),
             base.clone().with_samples(1001),
             base.clone().with_seed(2),
             base.clone().with_memory_pressure(1.0),
@@ -617,8 +801,8 @@ mod tests {
         // the omp split, so the omp parts depend on the cpu dataset
         // length — exactly the legacy artifact's behavior.
         let spec = TransferSplitSpec {
-            cpu: DatasetSpec::new(SuiteKind::Cpu2006, 400, 1),
-            omp: DatasetSpec::new(SuiteKind::Omp2001, 300, 2),
+            cpu: DatasetSpec::new(SuiteKind::cpu2006(), 400, 1),
+            omp: DatasetSpec::new(SuiteKind::omp2001(), 300, 2),
             seed: 9,
             fraction: 0.10,
         };

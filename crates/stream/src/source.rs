@@ -52,7 +52,7 @@ impl FleetConfig {
     /// intervals each.
     pub fn cpu2006(n_hosts: u64, intervals_per_host: u32, seed: u64) -> Self {
         FleetConfig {
-            suite: SuiteKind::Cpu2006,
+            suite: SuiteKind::cpu2006(),
             n_hosts,
             intervals_per_host,
             seed,

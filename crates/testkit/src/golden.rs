@@ -1,4 +1,4 @@
-//! Golden-snapshot framework for the E2–E7 `results/` artifacts.
+//! Golden-snapshot framework for the E2–E8 `results/` artifacts.
 //!
 //! Every experiment binary renders its artifact through a pure
 //! `spec_bench::artifacts` function; the checked-in files under

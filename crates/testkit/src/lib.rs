@@ -14,7 +14,7 @@
 //!   references for the `spec-stats` t-tests, Mann–Whitney U, and
 //!   bootstrap confidence intervals.
 //! * [`golden`] — a byte-for-byte golden-snapshot framework for the
-//!   E2–E7 `results/` artifacts, with a `TESTKIT_BLESS=1` regeneration
+//!   E2–E8 `results/` artifacts, with a `TESTKIT_BLESS=1` regeneration
 //!   path.
 //!
 //! # Depth control

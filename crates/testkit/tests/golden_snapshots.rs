@@ -1,4 +1,4 @@
-//! Golden-snapshot enforcement for the E2–E7 `results/` artifacts.
+//! Golden-snapshot enforcement for the E2–E8 `results/` artifacts.
 //!
 //! Each test renders its experiment through the same pure
 //! `spec_bench::artifacts` function the regeneration binary uses and
@@ -90,4 +90,18 @@ fn transferability_matches_golden() {
         "transferability.txt",
         &artifacts::transferability(split, cpu_tree, omp_tree),
     );
+}
+
+/// E8 — the cross-generation transfer matrix: byte-identical to the
+/// checked-in golden, and (because every assessed cell is a pure
+/// function of pipeline artifacts striped deterministically across
+/// workers) byte-identical for 1, 2, and 8 worker threads.
+#[test]
+fn generation_matrix_matches_golden_for_every_thread_count() {
+    let rendered = artifacts::generation_matrix(&spec_bench::matrix_artifacts(ctx(), 2));
+    enforce("generation_matrix.txt", &rendered);
+    for threads in [1, 8] {
+        let again = artifacts::generation_matrix(&spec_bench::matrix_artifacts(ctx(), threads));
+        assert_eq!(rendered, again, "{threads}-thread matrix diverged");
+    }
 }

@@ -38,7 +38,7 @@ impl Drop for Guard {
 #[test]
 fn datasets_and_fingerprints_are_bit_identical_with_telemetry_on() {
     let _guard = Guard::acquire();
-    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 2_000, 7);
+    let spec = DatasetSpec::new(SuiteKind::cpu2006(), 2_000, 7);
 
     let fingerprint_off = spec.fingerprint();
     let data_off = spec.compute(1).expect("generation succeeds");
@@ -69,7 +69,7 @@ fn datasets_and_fingerprints_are_bit_identical_with_telemetry_on() {
 #[test]
 fn trees_and_their_codec_bytes_are_bit_identical_with_telemetry_on() {
     let _guard = Guard::acquire();
-    let spec = DatasetSpec::new(SuiteKind::Omp2001, 2_000, 11);
+    let spec = DatasetSpec::new(SuiteKind::omp2001(), 2_000, 11);
     let data = spec.compute(1).expect("generation succeeds");
     let config = M5Config::default().with_min_leaf(20);
 

@@ -60,9 +60,9 @@ fn assert_bit_identical_trees(a: &ModelTree, b: &ModelTree, what: &str) {
 fn warm_dataset_is_bit_identical_and_generates_nothing() {
     let store = temp_store("dataset-bits");
     for spec in [
-        DatasetSpec::new(SuiteKind::Cpu2006, 900, 7),
-        DatasetSpec::new(SuiteKind::Omp2001, 700, 8).with_memory_pressure(0.6),
-        DatasetSpec::new(SuiteKind::Cpu2006, 500, 9).with_benchmark("429.mcf"),
+        DatasetSpec::new(SuiteKind::cpu2006(), 900, 7),
+        DatasetSpec::new(SuiteKind::omp2001(), 700, 8).with_memory_pressure(0.6),
+        DatasetSpec::new(SuiteKind::cpu2006(), 500, 9).with_benchmark("429.mcf"),
     ] {
         let cold = PipelineContext::with_store(store.clone());
         let first = cold.dataset(&spec).expect("generates");
@@ -81,7 +81,7 @@ fn warm_dataset_is_bit_identical_and_generates_nothing() {
 #[test]
 fn warm_trees_are_bit_identical_across_the_corner_lattice() {
     let store = temp_store("tree-lattice");
-    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 600, 11);
+    let spec = DatasetSpec::new(SuiteKind::cpu2006(), 600, 11);
 
     let cold = PipelineContext::with_store(store.clone());
     let warm = PipelineContext::with_store(store.clone());
@@ -129,8 +129,8 @@ fn external_datasets_cache_through_content_fingerprints() {
 fn transfer_protocol_replays_bit_identically() {
     let store = temp_store("transfer-bits");
     let spec = TransferSplitSpec {
-        cpu: DatasetSpec::new(SuiteKind::Cpu2006, 800, 21),
-        omp: DatasetSpec::new(SuiteKind::Omp2001, 600, 22),
+        cpu: DatasetSpec::new(SuiteKind::cpu2006(), 800, 21),
+        omp: DatasetSpec::new(SuiteKind::omp2001(), 600, 22),
         seed: 23,
         fraction: 0.10,
     };
@@ -157,7 +157,7 @@ fn transfer_protocol_replays_bit_identically() {
 #[test]
 fn corrupted_and_truncated_artifacts_fall_back_to_recompute() {
     let store = temp_store("corruption");
-    let spec = DatasetSpec::new(SuiteKind::Cpu2006, 400, 31);
+    let spec = DatasetSpec::new(SuiteKind::cpu2006(), 400, 31);
     let cold = PipelineContext::with_store(store.clone());
     let original = cold.dataset(&spec).expect("generates");
 
@@ -200,7 +200,7 @@ fn fingerprints_separate_every_closure_field() {
     // this is the end-to-end version: contexts over one shared store
     // must not leak artifacts between adjacent specs.
     let store = temp_store("isolation");
-    let a = DatasetSpec::new(SuiteKind::Cpu2006, 300, 41);
+    let a = DatasetSpec::new(SuiteKind::cpu2006(), 300, 41);
     let b = a.clone().with_seed(42);
     let ctx = PipelineContext::with_store(store.clone());
     let da = ctx.dataset(&a).expect("generates");

@@ -35,6 +35,10 @@
 //! assert!(report.accuracy_transferable());
 //! ```
 
+pub mod matrix;
+
+pub use matrix::{MatrixCell, MatrixSpec, MemberRow, SuiteArtifacts, TransferMatrix};
+
 use modeltree::ModelTree;
 use perfcounters::{Dataset, EventId};
 use serde::{Deserialize, Serialize};
@@ -86,6 +90,9 @@ pub enum TransferError {
         /// Events collected in the train dataset but absent from test.
         missing_in_test: Vec<EventId>,
     },
+    /// A pipeline stage failed while materializing matrix artifacts
+    /// (generation, splitting, fitting, or store I/O).
+    Pipeline(String),
 }
 
 impl std::fmt::Display for TransferError {
@@ -120,6 +127,7 @@ impl std::fmt::Display for TransferError {
                 }
                 Ok(())
             }
+            TransferError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
 }
@@ -128,7 +136,7 @@ impl std::error::Error for TransferError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransferError::Stats(e) => Some(e),
-            TransferError::SchemaMismatch { .. } => None,
+            TransferError::SchemaMismatch { .. } | TransferError::Pipeline(_) => None,
         }
     }
 }

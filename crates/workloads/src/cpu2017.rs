@@ -1,0 +1,297 @@
+//! Synthetic models of the 23 SPEC CPU2017 rate benchmarks.
+//!
+//! CPU2017 is one benchmark generation past the paper's data: the same
+//! single-threaded cost regimes apply, but the suite's *mixture* over
+//! them shifts. Published CPU2017 characterizations report larger
+//! working sets (more DTLB and L2 pressure at the reference inputs),
+//! a broader vectorized share, and the familiar pointer-chasing
+//! outliers (505.mcf_r, 520.omnetpp_r) pushed harder than their 2006
+//! ancestors. The phase mixtures below encode that moderate
+//! distribution shift: every regime a CPU2006-trained model knows
+//! still occurs, but with different frequencies and densities — the
+//! "near generation" point on the transfer-decay curve.
+
+use crate::phases::{BenchmarkModel, Phase};
+use perfcounters::events::EventId::*;
+
+/// Number of benchmarks in SPEC CPU2017 (rate).
+pub const N_BENCHMARKS: usize = 23;
+
+/// Quiet compute phase, 2017 flavor: warm caches but a slightly larger
+/// footprint than the 2006 LM1 phase (DTLB density near the regime
+/// boundary instead of far below it).
+fn quiet(weight: f64) -> Phase {
+    Phase::new("quiet17", weight)
+        .with(DtlbMiss, 1.4e-4, 0.5)
+        .with(L2Miss, 2.2e-4, 0.5)
+}
+
+/// DTLB pressure with store-address blocks and well-predicted branches
+/// (the LM7 regime at 2017 densities).
+fn sta_quietbr(weight: f64) -> Phase {
+    Phase::new("sta-quietbr17", weight)
+        .with(DtlbMiss, 5.0e-4, 0.3)
+        .with(LdBlkStA, 1.1e-3, 0.3)
+        .with(MisprBr, 9.0e-5, 0.4)
+        .with(L2Miss, 4.0e-4, 0.15)
+        .with(SplitStore, 1.4e-3, 0.4)
+}
+
+/// DTLB pressure with store-address blocks and mispredicted branches
+/// (the LM8 regime; deeper speculation than 2006).
+fn sta_branchy(weight: f64) -> Phase {
+    Phase::new("sta-branchy17", weight)
+        .with(DtlbMiss, 5.0e-4, 0.3)
+        .with(LdBlkStA, 1.1e-3, 0.3)
+        .with(MisprBr, 7.0e-3, 0.25)
+        .with(L2Miss, 3.2e-4, 0.25)
+}
+
+/// Pointer-chasing with heavy DTLB + L2 pressure (505.mcf_r and
+/// 520.omnetpp_r; the LM24 regime pushed past its 2006 densities).
+fn pointer_chase(weight: f64) -> Phase {
+    Phase::new("pointer-chase17", weight)
+        .with(DtlbMiss, 1.5e-3, 0.25)
+        .with(L2Miss, 1.4e-3, 0.25)
+        .with(LdBlkOlp, 2.4e-3, 0.4)
+        .with(Br, 0.24, 0.1)
+}
+
+/// L2-bound streaming plateau at 2017 bandwidth pressure.
+fn streaming(weight: f64) -> Phase {
+    Phase::new("streaming17", weight)
+        .with(DtlbMiss, 4.0e-4, 0.25)
+        .with(L2Miss, 1.1e-3, 0.3)
+        .with(Simd, 0.08, 0.5)
+}
+
+/// Very-high-SIMD plateau (507.cactuBSSN_r inherits 436.cactusADM's
+/// regime).
+fn simd_wide(weight: f64) -> Phase {
+    Phase::new("simd-wide17", weight)
+        .with(DtlbMiss, 3.2e-4, 0.25)
+        .with(L2Miss, 7.5e-4, 0.25)
+        .with(Simd, 0.93, 0.02)
+}
+
+/// High-SIMD streaming with overlapped stores (519.lbm_r inherits
+/// 470.lbm's regime).
+fn simd_stream(weight: f64) -> Phase {
+    Phase::new("simd-stream17", weight)
+        .with(DtlbMiss, 2.8e-4, 0.2)
+        .with(L2Miss, 9.0e-4, 0.25)
+        .with(Simd, 0.82, 0.03)
+        .with(LdBlkOlp, 6.5e-3, 0.3)
+}
+
+/// Mid-SIMD compute under DTLB pressure (media and rendering codes;
+/// the LM10 regime with a broader vectorized share than 2006).
+fn simd_mid(weight: f64) -> Phase {
+    Phase::new("simd-mid17", weight)
+        .with(DtlbMiss, 3.2e-4, 0.25)
+        .with(Simd, 0.68, 0.07)
+}
+
+/// Split-load heavy phase (unaligned buffer traversal; the LM18
+/// regime).
+fn split_load(weight: f64) -> Phase {
+    Phase::new("split-load17", weight)
+        .with(DtlbMiss, 4.5e-4, 0.3)
+        .with(SplitLoad, 5.5e-3, 0.3)
+        .with(L1DMiss, 1.8e-2, 0.3)
+        .with(LdBlkStA, 9.0e-4, 0.4)
+}
+
+/// Overlapped-store load blocks under DTLB pressure (the LM14 regime).
+fn olp(weight: f64) -> Phase {
+    Phase::new("olp17", weight)
+        .with(DtlbMiss, 3.4e-4, 0.25)
+        .with(LdBlkOlp, 4.5e-3, 0.3)
+        .with(Load, 0.36, 0.1)
+}
+
+/// The 23 benchmark models of SPEC CPU2017 (rate), with
+/// instruction-count weights (their share of the suite's samples).
+pub fn benchmarks() -> Vec<BenchmarkModel> {
+    vec![
+        // --- integer benchmarks ---
+        BenchmarkModel::new("500.perlbench_r", 1.1)
+            .phase(quiet(0.55))
+            .phase(sta_branchy(0.45)),
+        BenchmarkModel::new("502.gcc_r", 1.1)
+            .phase(quiet(0.40))
+            .phase(sta_branchy(0.35))
+            .phase(pointer_chase(0.25)),
+        BenchmarkModel::new("505.mcf_r", 0.7)
+            .phase(pointer_chase(0.80))
+            .phase(sta_branchy(0.20)),
+        BenchmarkModel::new("520.omnetpp_r", 0.7)
+            .phase(pointer_chase(0.75))
+            .phase(quiet(0.25)),
+        BenchmarkModel::new("523.xalancbmk_r", 1.0)
+            .phase(quiet(0.35))
+            .phase(sta_branchy(0.30))
+            .phase(sta_quietbr(0.35)),
+        BenchmarkModel::new("525.x264_r", 1.2)
+            .phase(simd_mid(0.55))
+            .phase(quiet(0.30))
+            .phase(sta_quietbr(0.15)),
+        BenchmarkModel::new("531.deepsjeng_r", 1.0)
+            .phase(quiet(0.60))
+            .phase(sta_branchy(0.40)),
+        BenchmarkModel::new("541.leela_r", 1.0)
+            .phase(quiet(0.65))
+            .phase(sta_branchy(0.35)),
+        BenchmarkModel::new("548.exchange2_r", 1.1)
+            .phase(quiet(0.95))
+            .phase(sta_quietbr(0.05)),
+        BenchmarkModel::new("557.xz_r", 0.9)
+            .phase(quiet(0.45))
+            .phase(sta_branchy(0.25))
+            .phase(pointer_chase(0.15))
+            .phase(split_load(0.15)),
+        // --- floating-point benchmarks ---
+        BenchmarkModel::new("503.bwaves_r", 1.2)
+            .phase(sta_quietbr(0.45))
+            .phase(streaming(0.30))
+            .phase(quiet(0.25)),
+        BenchmarkModel::new("507.cactuBSSN_r", 0.9)
+            .phase(simd_wide(0.60))
+            .phase(quiet(0.40)),
+        BenchmarkModel::new("508.namd_r", 1.1)
+            .phase(quiet(0.90))
+            .phase(simd_mid(0.10)),
+        BenchmarkModel::new("510.parest_r", 1.0)
+            .phase(quiet(0.60))
+            .phase(sta_quietbr(0.25))
+            .phase(olp(0.15)),
+        BenchmarkModel::new("511.povray_r", 1.0)
+            .phase(quiet(0.80))
+            .phase(sta_branchy(0.20)),
+        BenchmarkModel::new("519.lbm_r", 0.9)
+            .phase(simd_stream(0.60))
+            .phase(streaming(0.25))
+            .phase(quiet(0.15)),
+        BenchmarkModel::new("521.wrf_r", 1.1)
+            .phase(quiet(0.50))
+            .phase(sta_quietbr(0.25))
+            .phase(simd_mid(0.25)),
+        BenchmarkModel::new("526.blender_r", 1.1)
+            .phase(quiet(0.45))
+            .phase(simd_mid(0.35))
+            .phase(sta_branchy(0.20)),
+        BenchmarkModel::new("527.cam4_r", 1.0)
+            .phase(quiet(0.55))
+            .phase(sta_quietbr(0.30))
+            .phase(streaming(0.15)),
+        BenchmarkModel::new("538.imagick_r", 1.2)
+            .phase(simd_mid(0.50))
+            .phase(quiet(0.50)),
+        BenchmarkModel::new("544.nab_r", 1.0)
+            .phase(quiet(0.75))
+            .phase(simd_mid(0.15))
+            .phase(sta_quietbr(0.10)),
+        BenchmarkModel::new("549.fotonik3d_r", 0.9)
+            .phase(streaming(0.55))
+            .phase(sta_quietbr(0.30))
+            .phase(quiet(0.15)),
+        BenchmarkModel::new("554.roms_r", 1.0)
+            .phase(streaming(0.40))
+            .phase(sta_quietbr(0.35))
+            .phase(quiet(0.25)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::{CostModel, Environment, Regime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_23_uniquely_named_benchmarks() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), N_BENCHMARKS);
+        let mut names: Vec<&str> = bs.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_BENCHMARKS);
+    }
+
+    #[test]
+    fn phase_weights_sum_to_one() {
+        for b in benchmarks() {
+            let total: f64 = b.phases().iter().map(|p| p.weight()).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: phase weights sum to {total}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_follow_the_2017_rate_convention() {
+        for b in benchmarks() {
+            assert!(b.name().ends_with("_r"), "{} not a rate name", b.name());
+        }
+    }
+
+    fn regime_share(name: &str, regime: Regime, seed: u64) -> f64 {
+        let cm = CostModel::default();
+        let bs = benchmarks();
+        let b = bs.iter().find(|b| b.name() == name).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2000;
+        let mut hits = 0;
+        for _ in 0..n {
+            let phase = b.pick_phase(&mut rng);
+            let d = phase.sample_densities(&mut rng);
+            if cm.regime(&d, Environment::SingleThreaded) == regime {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn mcf_r_escapes_the_quiet_regime() {
+        assert!(regime_share("505.mcf_r", Regime::CpuLm1, 1) < 0.15);
+        assert!(regime_share("505.mcf_r", Regime::CpuLm24, 2) > 0.6);
+    }
+
+    #[test]
+    fn cactu_r_hits_the_wide_simd_plateau() {
+        let share = regime_share("507.cactuBSSN_r", Regime::CpuLm11, 3);
+        assert!((0.4..0.8).contains(&share), "cactuBSSN LM11 share {share}");
+    }
+
+    #[test]
+    fn suite_mean_cpi_sits_above_cpu2006() {
+        // The generation shift is moderate: same regimes, heavier tail.
+        let cm = CostModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mean_cpi = |bs: &[BenchmarkModel]| {
+            let n = 400;
+            let total: f64 = bs
+                .iter()
+                .flat_map(|b| {
+                    (0..n)
+                        .map(|_| {
+                            let d = b.pick_phase(&mut rng).sample_densities(&mut rng);
+                            cm.true_cpi(&d, Environment::SingleThreaded)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .sum();
+            total / (n * bs.len()) as f64
+        };
+        let cpu2017 = mean_cpi(&benchmarks());
+        let cpu2006 = mean_cpi(&crate::cpu2006::benchmarks());
+        assert!(
+            cpu2017 > cpu2006 + 0.03,
+            "2017 mean {cpu2017} vs 2006 mean {cpu2006}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Synthetic models of a forward-looking SPEC CPU2026-style suite
+//! (15 benchmarks).
+//!
+//! Two generations past the paper, the workload mix the SPEC CPU2026
+//! characterization literature describes is qualitatively different:
+//! ML-adjacent and media kernels push the vectorized share far beyond
+//! 2006 levels, and data-intensive footprints (graph stores, columnar
+//! scans) drive DTLB and last-level-cache pressure deep past the
+//! densities the 2006 suite ever visits. The phase mixtures below
+//! concentrate the suite in exactly those regions — the wide-SIMD
+//! plateaus and the heavy-DTLB/L3 regime at 2–3× its 2006 densities —
+//! so a CPU2006-trained model must extrapolate where it has almost no
+//! training mass. This is the "far generation" point on the
+//! transfer-decay curve.
+
+use crate::phases::{BenchmarkModel, Phase};
+use perfcounters::events::EventId::*;
+
+/// Number of benchmarks in the CPU2026-style suite.
+pub const N_BENCHMARKS: usize = 15;
+
+/// Quiet compute, 2026 flavor: even "quiet" code carries a vectorized
+/// share and a footprint near the DTLB regime boundary.
+fn quiet(weight: f64) -> Phase {
+    Phase::new("quiet26", weight)
+        .with(DtlbMiss, 1.6e-4, 0.5)
+        .with(L2Miss, 2.6e-4, 0.5)
+        .with(Simd, 0.15, 0.4)
+}
+
+/// Large-footprint data traversal: DTLB and L3 pressure at 2–3× the
+/// densities 471.omnetpp reached in 2006 (deep in the LM24 regime).
+fn footprint(weight: f64) -> Phase {
+    Phase::new("footprint26", weight)
+        .with(DtlbMiss, 2.2e-3, 0.2)
+        .with(L2Miss, 1.8e-3, 0.2)
+        .with(LdBlkOlp, 3.0e-3, 0.35)
+        .with(Br, 0.25, 0.1)
+}
+
+/// Streaming scans over huge working sets: straddles the
+/// heavy-DTLB boundary between the streaming plateau and LM24.
+fn tlb_stream(weight: f64) -> Phase {
+    Phase::new("tlb-stream26", weight)
+        .with(DtlbMiss, 9.0e-4, 0.3)
+        .with(L2Miss, 1.3e-3, 0.25)
+        .with(Simd, 0.12, 0.5)
+}
+
+/// Wide-vector kernels living on the SIMD plateau (densities past the
+/// 91% cactusADM threshold with almost no scalar residue).
+fn wide_simd(weight: f64) -> Phase {
+    Phase::new("wide-simd26", weight)
+        .with(DtlbMiss, 3.5e-4, 0.25)
+        .with(L2Miss, 8.0e-4, 0.25)
+        .with(Simd, 0.95, 0.01)
+}
+
+/// Vector streaming with overlapped stores at post-2006 densities
+/// (the LM5 regime extrapolated well past 470.lbm's event rates).
+fn simd_stream(weight: f64) -> Phase {
+    Phase::new("simd-stream26", weight)
+        .with(DtlbMiss, 3.0e-4, 0.2)
+        .with(L2Miss, 1.1e-3, 0.25)
+        .with(Simd, 0.86, 0.025)
+        .with(LdBlkOlp, 7.0e-3, 0.3)
+}
+
+/// Mid-SIMD compute over large pages under DTLB pressure (the LM10
+/// regime with a heavier vector share than any 2006 member).
+fn simd_tlb(weight: f64) -> Phase {
+    Phase::new("simd-tlb26", weight)
+        .with(DtlbMiss, 6.0e-4, 0.25)
+        .with(L2Miss, 3.0e-4, 0.3)
+        .with(Simd, 0.72, 0.06)
+}
+
+/// Store-address blocking under DTLB pressure at 2026 densities (the
+/// LM7 regime, heavier than its 2006 instances).
+fn sta(weight: f64) -> Phase {
+    Phase::new("sta26", weight)
+        .with(DtlbMiss, 6.0e-4, 0.3)
+        .with(LdBlkStA, 1.3e-3, 0.3)
+        .with(MisprBr, 1.0e-4, 0.4)
+        .with(L2Miss, 4.2e-4, 0.15)
+        .with(SplitStore, 1.6e-3, 0.4)
+}
+
+/// The 15 benchmark models of the CPU2026-style suite, with
+/// instruction-count weights (their share of the suite's samples).
+pub fn benchmarks() -> Vec<BenchmarkModel> {
+    vec![
+        // --- data-intensive integer benchmarks ---
+        BenchmarkModel::new("901.graphdb_r", 0.8)
+            .phase(footprint(0.70))
+            .phase(tlb_stream(0.30)),
+        BenchmarkModel::new("905.columnar_r", 0.9)
+            .phase(tlb_stream(0.55))
+            .phase(footprint(0.25))
+            .phase(quiet(0.20)),
+        BenchmarkModel::new("909.pathfind_r", 0.9)
+            .phase(footprint(0.45))
+            .phase(quiet(0.35))
+            .phase(sta(0.20)),
+        BenchmarkModel::new("913.simjit_r", 1.0)
+            .phase(quiet(0.55))
+            .phase(sta(0.30))
+            .phase(tlb_stream(0.15)),
+        BenchmarkModel::new("917.protoserde_r", 1.0)
+            .phase(quiet(0.45))
+            .phase(sta(0.35))
+            .phase(simd_tlb(0.20)),
+        // --- vector / ML-adjacent benchmarks ---
+        BenchmarkModel::new("921.dnninfer_r", 1.2)
+            .phase(wide_simd(0.65))
+            .phase(simd_tlb(0.25))
+            .phase(quiet(0.10)),
+        BenchmarkModel::new("925.gnnprop_r", 0.9)
+            .phase(simd_tlb(0.40))
+            .phase(footprint(0.35))
+            .phase(wide_simd(0.25)),
+        BenchmarkModel::new("929.fluidx_r", 1.0)
+            .phase(simd_stream(0.60))
+            .phase(tlb_stream(0.25))
+            .phase(quiet(0.15)),
+        BenchmarkModel::new("933.weatherx_r", 1.1)
+            .phase(simd_stream(0.40))
+            .phase(sta(0.30))
+            .phase(simd_tlb(0.30)),
+        BenchmarkModel::new("937.raytrace_r", 1.1)
+            .phase(simd_tlb(0.50))
+            .phase(quiet(0.30))
+            .phase(wide_simd(0.20)),
+        BenchmarkModel::new("941.genomics_r", 0.9)
+            .phase(tlb_stream(0.40))
+            .phase(simd_tlb(0.35))
+            .phase(footprint(0.25)),
+        BenchmarkModel::new("945.femsolve_r", 1.0)
+            .phase(simd_stream(0.45))
+            .phase(sta(0.35))
+            .phase(quiet(0.20)),
+        BenchmarkModel::new("949.latticeqcd_r", 1.0)
+            .phase(wide_simd(0.55))
+            .phase(simd_stream(0.30))
+            .phase(quiet(0.15)),
+        BenchmarkModel::new("953.vecsearch_r", 0.9)
+            .phase(simd_tlb(0.45))
+            .phase(tlb_stream(0.35))
+            .phase(wide_simd(0.20)),
+        BenchmarkModel::new("957.videotrans_r", 1.1)
+            .phase(simd_tlb(0.45))
+            .phase(simd_stream(0.30))
+            .phase(quiet(0.25)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::{CostModel, Environment, Regime};
+    use perfcounters::events::EventId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_15_uniquely_named_benchmarks() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), N_BENCHMARKS);
+        let mut names: Vec<&str> = bs.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_BENCHMARKS);
+    }
+
+    #[test]
+    fn phase_weights_sum_to_one() {
+        for b in benchmarks() {
+            let total: f64 = b.phases().iter().map(|p| p.weight()).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: phase weights sum to {total}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn graphdb_lives_deep_in_the_heavy_dtlb_regime() {
+        let cm = CostModel::default();
+        let bs = benchmarks();
+        let b = bs.iter().find(|b| b.name() == "901.graphdb_r").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 2000;
+        let mut lm24 = 0;
+        let mut cpi_sum = 0.0;
+        for _ in 0..n {
+            let d = b.pick_phase(&mut rng).sample_densities(&mut rng);
+            if cm.regime(&d, Environment::SingleThreaded) == Regime::CpuLm24 {
+                lm24 += 1;
+            }
+            cpi_sum += cm.true_cpi(&d, Environment::SingleThreaded);
+        }
+        let share = lm24 as f64 / n as f64;
+        assert!(share > 0.6, "graphdb LM24 share {share}");
+        // Well past omnetpp's 2.1: CPI the 2006 suite never produced.
+        let mean = cpi_sum / n as f64;
+        assert!(mean > 2.4, "graphdb mean CPI {mean}");
+    }
+
+    #[test]
+    fn vector_share_far_exceeds_cpu2006() {
+        let mean_simd = |bs: &[BenchmarkModel]| {
+            let total: f64 = bs
+                .iter()
+                .map(|b| {
+                    b.phases()
+                        .iter()
+                        .map(|p| p.weight() * p.mean_density(EventId::Simd))
+                        .sum::<f64>()
+                })
+                .sum();
+            total / bs.len() as f64
+        };
+        let s2026 = mean_simd(&benchmarks());
+        let s2006 = mean_simd(&crate::cpu2006::benchmarks());
+        assert!(s2026 > 2.0 * s2006, "simd share {s2026} vs 2006 {s2006}");
+    }
+
+    #[test]
+    fn generation_shift_is_monotone_in_mean_cpi() {
+        let cm = CostModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mean_cpi = |bs: &[BenchmarkModel]| {
+            let n = 400;
+            let total: f64 = bs
+                .iter()
+                .map(|b| {
+                    (0..n)
+                        .map(|_| {
+                            let d = b.pick_phase(&mut rng).sample_densities(&mut rng);
+                            cm.true_cpi(&d, Environment::SingleThreaded)
+                        })
+                        .sum::<f64>()
+                })
+                .sum();
+            total / (n * bs.len()) as f64
+        };
+        let c2006 = mean_cpi(&crate::cpu2006::benchmarks());
+        let c2017 = mean_cpi(&crate::cpu2017::benchmarks());
+        let c2026 = mean_cpi(&benchmarks());
+        assert!(
+            c2006 < c2017 && c2017 < c2026,
+            "means not monotone: {c2006} / {c2017} / {c2026}"
+        );
+        assert!(
+            c2026 > c2006 + 0.25,
+            "2026 shift too small: {c2026} vs {c2006}"
+        );
+    }
+}

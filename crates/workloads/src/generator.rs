@@ -10,7 +10,6 @@
 
 use crate::costmodel::{CostModel, Environment};
 use crate::phases::BenchmarkModel;
-use crate::{cpu2006, omp2001};
 use perfcounters::counters::{CounterBank, CounterConfig};
 use perfcounters::events::EventId;
 use perfcounters::{Dataset, Sample};
@@ -54,21 +53,13 @@ impl Suite {
 
     /// The synthetic SPEC CPU2006 suite (29 benchmarks, single-threaded).
     pub fn cpu2006() -> Self {
-        Suite::new(
-            "SPEC CPU2006",
-            Environment::SingleThreaded,
-            cpu2006::benchmarks(),
-        )
+        crate::registry::CPU2006.materialize()
     }
 
     /// The synthetic SPEC OMP2001 medium suite (11 benchmarks,
     /// multi-threaded).
     pub fn omp2001() -> Self {
-        Suite::new(
-            "SPEC OMP2001",
-            Environment::MultiThreaded,
-            omp2001::benchmarks(),
-        )
+        crate::registry::OMP2001.materialize()
     }
 
     /// Suite name.

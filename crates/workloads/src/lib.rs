@@ -40,12 +40,16 @@
 
 pub mod costmodel;
 pub mod cpu2006;
+pub mod cpu2017;
+pub mod cpu2026;
 pub mod generator;
 pub mod omp2001;
 pub mod phases;
+pub mod registry;
 pub mod trace;
 
 pub use costmodel::{CostModel, Environment};
 pub use generator::{GeneratorConfig, Suite};
 pub use phases::{BenchmarkModel, Phase};
+pub use registry::{SuiteDef, SuiteRegistry};
 pub use trace::{generate_trace, Trace, TraceConfig};

@@ -1,0 +1,206 @@
+//! Generation-parameterized suite registry.
+//!
+//! The paper studies exactly two suites, and early versions of this
+//! repository hardcoded that pair everywhere. The registry dissolves
+//! that: a [`SuiteDef`] is a declarative description of one benchmark
+//! suite (identifier, display name, generation year, execution
+//! environment, benchmark-model constructor), and the
+//! [`SuiteRegistry`] is the ordered collection every layer above —
+//! pipeline specs, the transfer matrix, the CLI — resolves suites
+//! from. Adding a suite is now one `SuiteDef` plus a benchmark module;
+//! nothing downstream enumerates suites by hand.
+//!
+//! The built-in registry spans three SPEC CPU generations plus the
+//! paper's multi-threaded suite:
+//!
+//! | tag       | generation | environment     | benchmarks |
+//! |-----------|------------|-----------------|------------|
+//! | `cpu2006` | 2006       | single-threaded | 29         |
+//! | `omp2001` | 2001       | multi-threaded  | 11         |
+//! | `cpu2017` | 2017       | single-threaded | 23         |
+//! | `cpu2026` | 2026       | single-threaded | 15         |
+//!
+//! `legacy_token` exists for the artifact store: the two original
+//! suites were fingerprinted by the literal strings `"cpu2006"` /
+//! `"omp2001"` before the registry existed, and those tokens are
+//! frozen so every pre-registry cache key and golden snapshot stays
+//! bit-stable. New suites carry no token and are fingerprinted by
+//! content (see `pipeline::fingerprint::suite_def_fingerprint`).
+
+use crate::costmodel::Environment;
+use crate::generator::Suite;
+use crate::phases::BenchmarkModel;
+use std::sync::OnceLock;
+
+/// Declarative description of one benchmark suite.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteDef {
+    /// Stable lowercase identifier; the CLI `--suite` value and the
+    /// registry lookup key.
+    pub tag: &'static str,
+    /// Human-readable suite name (dataset labels, report headers).
+    pub display_name: &'static str,
+    /// Benchmark-suite generation year (2001, 2006, 2017, 2026).
+    pub generation: u16,
+    /// Execution environment shared by the suite's benchmarks.
+    pub environment: Environment,
+    /// Constructor of the suite's benchmark models.
+    pub benchmarks: fn() -> Vec<BenchmarkModel>,
+    /// Frozen pre-registry fingerprint token. `Some` only for the two
+    /// original suites whose artifact-store keys predate the registry;
+    /// never assign one to a new suite.
+    pub legacy_token: Option<&'static str>,
+}
+
+impl SuiteDef {
+    /// Builds the concrete [`Suite`] this definition describes.
+    pub fn materialize(&self) -> Suite {
+        Suite::new(self.display_name, self.environment, (self.benchmarks)())
+    }
+}
+
+/// The synthetic SPEC CPU2006 suite (29 benchmarks, single-threaded).
+pub static CPU2006: SuiteDef = SuiteDef {
+    tag: "cpu2006",
+    display_name: "SPEC CPU2006",
+    generation: 2006,
+    environment: Environment::SingleThreaded,
+    benchmarks: crate::cpu2006::benchmarks,
+    legacy_token: Some("cpu2006"),
+};
+
+/// The synthetic SPEC OMP2001 medium suite (11 benchmarks,
+/// multi-threaded).
+pub static OMP2001: SuiteDef = SuiteDef {
+    tag: "omp2001",
+    display_name: "SPEC OMP2001",
+    generation: 2001,
+    environment: Environment::MultiThreaded,
+    benchmarks: crate::omp2001::benchmarks,
+    legacy_token: Some("omp2001"),
+};
+
+/// The synthetic SPEC CPU2017 rate suite (23 benchmarks,
+/// single-threaded).
+pub static CPU2017: SuiteDef = SuiteDef {
+    tag: "cpu2017",
+    display_name: "SPEC CPU2017",
+    generation: 2017,
+    environment: Environment::SingleThreaded,
+    benchmarks: crate::cpu2017::benchmarks,
+    legacy_token: None,
+};
+
+/// The forward-looking synthetic CPU2026-style suite (15 benchmarks,
+/// single-threaded, wide-SIMD and large-footprint regimes).
+pub static CPU2026: SuiteDef = SuiteDef {
+    tag: "cpu2026",
+    display_name: "SPEC CPU2026",
+    generation: 2026,
+    environment: Environment::SingleThreaded,
+    benchmarks: crate::cpu2026::benchmarks,
+    legacy_token: None,
+};
+
+/// An ordered collection of [`SuiteDef`]s, looked up by tag.
+#[derive(Debug, Clone)]
+pub struct SuiteRegistry {
+    defs: Vec<&'static SuiteDef>,
+}
+
+impl SuiteRegistry {
+    /// Builds a registry from explicit definitions (tests compose
+    /// ad-hoc registries to prove insertion-order invariance).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate tags — a registry where `by_tag` is
+    /// ambiguous would silently alias artifacts.
+    pub fn new(defs: Vec<&'static SuiteDef>) -> Self {
+        for (i, a) in defs.iter().enumerate() {
+            for b in &defs[i + 1..] {
+                assert!(a.tag != b.tag, "duplicate suite tag {:?}", a.tag);
+            }
+        }
+        SuiteRegistry { defs }
+    }
+
+    /// The built-in registry, in generation order of first release.
+    pub fn builtin() -> Self {
+        SuiteRegistry::new(vec![&OMP2001, &CPU2006, &CPU2017, &CPU2026])
+    }
+
+    /// The process-wide built-in registry.
+    pub fn global() -> &'static SuiteRegistry {
+        static GLOBAL: OnceLock<SuiteRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SuiteRegistry::builtin)
+    }
+
+    /// Looks a definition up by its tag.
+    pub fn by_tag(&self, tag: &str) -> Option<&'static SuiteDef> {
+        self.defs.iter().copied().find(|d| d.tag == tag)
+    }
+
+    /// All definitions, in registry order.
+    pub fn defs(&self) -> &[&'static SuiteDef] {
+        &self.defs
+    }
+
+    /// All registered tags, in registry order.
+    pub fn tags(&self) -> Vec<&'static str> {
+        self.defs.iter().map(|d| d.tag).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_four_suites_in_generation_order() {
+        let reg = SuiteRegistry::builtin();
+        assert_eq!(reg.tags(), ["omp2001", "cpu2006", "cpu2017", "cpu2026"]);
+        let generations: Vec<u16> = reg.defs().iter().map(|d| d.generation).collect();
+        assert_eq!(generations, [2001, 2006, 2017, 2026]);
+    }
+
+    #[test]
+    fn by_tag_resolves_every_builtin_and_rejects_unknowns() {
+        let reg = SuiteRegistry::global();
+        for tag in reg.tags() {
+            let def = reg.by_tag(tag).expect("registered tag resolves");
+            assert_eq!(def.tag, tag);
+        }
+        assert!(reg.by_tag("spec95").is_none());
+    }
+
+    #[test]
+    fn only_legacy_suites_carry_legacy_tokens() {
+        assert_eq!(CPU2006.legacy_token, Some("cpu2006"));
+        assert_eq!(OMP2001.legacy_token, Some("omp2001"));
+        assert_eq!(CPU2017.legacy_token, None);
+        assert_eq!(CPU2026.legacy_token, None);
+    }
+
+    #[test]
+    fn materialize_matches_legacy_constructors() {
+        assert_eq!(CPU2006.materialize(), Suite::cpu2006());
+        assert_eq!(OMP2001.materialize(), Suite::omp2001());
+    }
+
+    #[test]
+    fn every_builtin_suite_materializes_nonempty() {
+        for def in SuiteRegistry::global().defs() {
+            let suite = def.materialize();
+            assert!(!suite.benchmarks().is_empty(), "{} empty", def.tag);
+            assert_eq!(suite.name(), def.display_name);
+            assert_eq!(suite.environment(), def.environment);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate suite tag")]
+    fn duplicate_tags_rejected() {
+        let _ = SuiteRegistry::new(vec![&CPU2006, &CPU2006]);
+    }
+}
