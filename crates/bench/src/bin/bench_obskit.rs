@@ -2,18 +2,24 @@
 //! disabled vs enabled.
 //!
 //! Times the two instrumented kernels of the reproduction — a 50k-row
-//! M5' fit and a 60k-row compiled-engine predict — three ways: with
+//! M5' fit and a 60k-row compiled-engine predict — four ways: with
 //! telemetry disabled (the default every experiment runs under), with
-//! metrics counters enabled, and with metrics + span tracing enabled.
-//! It then proves the determinism contract: the tree fitted and the
+//! metrics counters enabled, with metrics + span tracing enabled, and
+//! with everything on plus the flight-recorder ring armed. It then
+//! proves the determinism contract: the tree fitted and the
 //! predictions computed with telemetry fully on are bit-identical to
-//! the ones computed with it off. The timings and the enabled-overhead
-//! ratios are written as JSON; per-operation disabled-path costs (a
-//! single relaxed atomic load) are measured separately by the
+//! the ones computed with it off. Two observability micro-rows ride
+//! along: the per-record cost of the flight ring (enabled seqlock
+//! claim vs the disabled-path relaxed load) and the cost of rendering
+//! the full registry as the Prometheus/OpenMetrics text exposition.
+//! The timings and the enabled-overhead ratios are written as JSON;
+//! per-operation disabled-path costs are measured separately by the
 //! `obskit_overhead` Criterion bench.
 //!
-//! `cargo run --release -p spec-bench --bin bench_obskit [output.json]`
-//! (default output: `results/BENCH_obskit.json`).
+//! `cargo run --release -p spec-bench --bin bench_obskit [--smoke]
+//! [output.json]` (default output: `results/BENCH_obskit.json`;
+//! `--smoke` shrinks sizes and reps for the CI job, which passes an
+//! explicit output path so the committed snapshot stays full-size).
 
 use std::time::Instant;
 
@@ -43,13 +49,20 @@ fn overhead_pct(baseline: f64, measured: f64) -> f64 {
 fn main() {
     // SPECREPRO_TRACE_OUT / SPECREPRO_METRICS_OUT capture this run's telemetry.
     let _obs = obskit::ObsSession::from_env();
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_obskit.json".into());
-    let reps = 5;
+    let mut smoke = false;
+    let mut path = "results/BENCH_obskit.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    let reps = if smoke { 2 } else { 5 };
 
-    let n_fit = 50_000;
-    let n_predict = 60_000;
+    let n_fit = if smoke { 5_000 } else { 50_000 };
+    let n_predict = if smoke { 6_000 } else { 60_000 };
+    let n_records = if smoke { 100_000u64 } else { 1_000_000u64 };
     let fit_data = Suite::cpu2006().generate(
         &mut StdRng::seed_from_u64(1),
         n_fit,
@@ -72,6 +85,14 @@ fn main() {
         obskit::span::reset(); // keep the span buffer from saturating across reps
         ModelTree::fit(&fit_data, &config).unwrap()
     });
+    // Everything on, flight recorder included — the configuration an
+    // incident investigation would run under.
+    obskit::set_ring_enabled(true);
+    let (t_fit_all, tree_all) = time_best(reps, || {
+        obskit::span::reset();
+        ModelTree::fit(&fit_data, &config).unwrap()
+    });
+    obskit::set_ring_enabled(false);
     obskit::set_enabled(false, false);
 
     // Predict over 60k rows with the telemetry-off tree.
@@ -85,6 +106,29 @@ fn main() {
         engine.predict_batch(&predict_data)
     });
     obskit::set_enabled(false, false);
+
+    // Flight-ring record cost: the enabled seqlock claim vs the
+    // disabled-path relaxed load (what every record site costs when the
+    // recorder is off).
+    obskit::set_ring_enabled(true);
+    let (t_ring_on, ()) = time_best(reps, || {
+        for i in 0..n_records {
+            obskit::ring::record(obskit::ring::FlightKind::Probe, i, 0, 0);
+        }
+    });
+    obskit::set_ring_enabled(false);
+    let (t_ring_off, ()) = time_best(reps, || {
+        for i in 0..n_records {
+            obskit::ring::record(obskit::ring::FlightKind::Probe, i, 0, 0);
+        }
+    });
+    obskit::ring::reset();
+
+    // OpenMetrics exposition render over the full (now populated)
+    // registry — the marginal cost of a Prometheus scrape.
+    let (t_prom, prom_text) = time_best(reps.max(3), obskit::prom::prom_text);
+    let prom_bytes = prom_text.len();
+
     obskit::span::reset();
     obskit::metrics::reset();
 
@@ -94,6 +138,11 @@ fn main() {
         serde_json::to_string(&tree_on).unwrap(),
         serde_json::to_string(&tree_off).unwrap(),
         "tree fitted with telemetry on differs from telemetry off"
+    );
+    assert_eq!(
+        serde_json::to_string(&tree_all).unwrap(),
+        serde_json::to_string(&tree_off).unwrap(),
+        "tree fitted with the flight recorder armed differs from telemetry off"
     );
     assert_eq!(pred_on.len(), pred_off.len());
     assert!(
@@ -112,8 +161,10 @@ fn main() {
             "seconds_disabled": t_fit_off,
             "seconds_metrics": t_fit_metrics,
             "seconds_tracing": t_fit_on,
+            "seconds_all_plus_ring": t_fit_all,
             "metrics_overhead_pct": overhead_pct(t_fit_off, t_fit_metrics),
             "tracing_overhead_pct": overhead_pct(t_fit_off, t_fit_on),
+            "ring_overhead_pct": overhead_pct(t_fit_off, t_fit_all),
         },
         "predict": {
             "rows": n_predict,
@@ -122,6 +173,16 @@ fn main() {
             "seconds_tracing": t_pred_on,
             "metrics_overhead_pct": overhead_pct(t_pred_off, t_pred_metrics),
             "tracing_overhead_pct": overhead_pct(t_pred_off, t_pred_on),
+        },
+        "ring_record": {
+            "records": n_records,
+            "ns_per_record_enabled": t_ring_on * 1e9 / n_records as f64,
+            "ns_per_record_disabled": t_ring_off * 1e9 / n_records as f64,
+        },
+        "prom_render": {
+            "seconds_per_render": t_prom,
+            "bytes": prom_bytes,
+            "renders_per_second": 1.0 / t_prom,
         },
         "bit_identical_with_telemetry": true,
         "disabled_path": "single relaxed atomic load per call site; \
@@ -134,6 +195,15 @@ fn main() {
         overhead_pct(t_fit_off, t_fit_metrics), overhead_pct(t_fit_off, t_fit_on));
     println!("predict {n_predict} rows: off {t_pred_off:.4} s, metrics {t_pred_metrics:.4} s ({:+.2}%), tracing {t_pred_on:.4} s ({:+.2}%)",
         overhead_pct(t_pred_off, t_pred_metrics), overhead_pct(t_pred_off, t_pred_on));
-    println!("trees and predictions bit-identical with telemetry on/off");
+    println!(
+        "ring record:       {:.1} ns enabled, {:.2} ns disabled path ({n_records} records)",
+        t_ring_on * 1e9 / n_records as f64,
+        t_ring_off * 1e9 / n_records as f64
+    );
+    println!(
+        "prom render:       {:.1} µs per scrape ({prom_bytes} bytes)",
+        t_prom * 1e6
+    );
+    println!("trees and predictions bit-identical with telemetry on/off (flight ring armed too)");
     println!("wrote {path}");
 }

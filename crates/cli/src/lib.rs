@@ -604,7 +604,24 @@ pub fn cmd_serve(flags: &Flags) -> Result<String> {
         Some(name) => name.to_owned(),
         None => default_name,
     };
-    obskit::set_enabled(true, false);
+    let p99_ms: u64 = flags.parsed_or("p99-ms", 250)?;
+    let trace_sample: Option<u64> = match flags.optional("trace-sample") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError(format!("--trace-sample {raw:?} is not a number")))?,
+        ),
+        None => None,
+    };
+    // Metrics always; request tracing only when sampling is asked for
+    // (via the flag or SPECREPRO_TRACE_OUT); the flight recorder is
+    // always armed — it is the post-incident story of load sheds and
+    // failed swaps, and its disabled-path cost is one relaxed load per
+    // record site.
+    obskit::set_enabled(true, trace_sample.is_some() || obskit::tracing_enabled());
+    obskit::set_ring_enabled(true);
+    if let Some(every) = trace_sample {
+        serve::set_trace_sample(every);
+    }
     let registry = std::sync::Arc::new(serve::ModelRegistry::new());
     let version = registry.register_tree(&name, &tree);
     let server = serve::Server::start(
@@ -619,11 +636,12 @@ pub fn cmd_serve(flags: &Flags) -> Result<String> {
             max_connections,
             store: Some(ArtifactStore::from_env()),
             default_model: Some(name.clone()),
+            monitors: obskit::monitor::MonitorSet::standard_serve(p99_ms),
         },
     )
     .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
     eprintln!(
-        "serving {name} (version {}) on http://{} — POST /predict|/classify|/swap|/shutdown, GET /healthz|/metrics",
+        "serving {name} (version {}) on http://{} — POST /predict|/classify|/swap|/debug/flight|/shutdown, GET /healthz|/metrics",
         version.version,
         server.addr()
     );
@@ -886,8 +904,10 @@ pub fn cmd_trace(args: &[String]) -> Result<String> {
 
 /// `metrics`: run a wrapped subcommand with metrics enabled, then
 /// report the counter/gauge/histogram registry — human-readable by
-/// default, or a single JSON document with `--json` (the wrapped
-/// command's own report is suppressed so stdout stays parseable).
+/// default, a single JSON document with `--json`, or the
+/// Prometheus/OpenMetrics text exposition with `--prom` (the wrapped
+/// command's own report is suppressed so stdout stays parseable and
+/// can be dropped straight into a Prometheus textfile collector).
 ///
 /// Positional like [`cmd_trace`], dispatched before flag parsing.
 ///
@@ -895,10 +915,16 @@ pub fn cmd_trace(args: &[String]) -> Result<String> {
 ///
 /// Fails on a malformed invocation or on the wrapped command's error.
 pub fn cmd_metrics(args: &[String]) -> Result<String> {
-    const METRICS_USAGE: &str = "usage: specrepro metrics [--json] <command ...>";
-    let (json, rest) = match args.split_first() {
-        Some((flag, rest)) if flag == "--json" => (true, rest),
-        _ => (false, args),
+    const METRICS_USAGE: &str = "usage: specrepro metrics [--json | --prom] <command ...>";
+    enum Format {
+        Human,
+        Json,
+        Prom,
+    }
+    let (format, rest) = match args.split_first() {
+        Some((flag, rest)) if flag == "--json" => (Format::Json, rest),
+        Some((flag, rest)) if flag == "--prom" => (Format::Prom, rest),
+        _ => (Format::Human, args),
     };
     if rest.is_empty() {
         return Err(CliError(format!("no command to measure\n{METRICS_USAGE}")));
@@ -908,14 +934,55 @@ pub fn cmd_metrics(args: &[String]) -> Result<String> {
     let result = run(rest);
     obskit::set_enabled(false, false);
     let report = result?;
-    Ok(if json {
-        obskit::export::metrics_json()
-    } else {
-        format!(
+    Ok(match format {
+        Format::Json => obskit::export::metrics_json(),
+        Format::Prom => obskit::prom::prom_text(),
+        Format::Human => format!(
             "{report}\n\nmetrics:\n{}",
             obskit::export::metrics_human().trim_end()
-        )
+        ),
     })
+}
+
+/// `flight`: run a wrapped subcommand with the flight recorder (and
+/// metrics) enabled, then write the ring's JSON dump — the most recent
+/// operational events (request submissions, batch flushes, load sheds,
+/// swaps, monitor fires) in record order.
+///
+/// Positional like [`cmd_trace`], dispatched before flag parsing. The
+/// dump is written even when the wrapped command fails — that is the
+/// whole point of a flight recorder.
+///
+/// # Errors
+///
+/// Fails on a malformed invocation, on the wrapped command's own
+/// error, or when the dump file cannot be written.
+pub fn cmd_flight(args: &[String]) -> Result<String> {
+    const FLIGHT_USAGE: &str = "usage: specrepro flight --out FILE <command ...>";
+    let (out, rest) = match args.split_first() {
+        Some((flag, rest)) if flag == "--out" => rest
+            .split_first()
+            .ok_or_else(|| CliError(format!("--out is missing a value\n{FLIGHT_USAGE}")))?,
+        _ => return Err(CliError(FLIGHT_USAGE.into())),
+    };
+    if rest.is_empty() {
+        return Err(CliError(format!("no command to record\n{FLIGHT_USAGE}")));
+    }
+    obskit::metrics::reset();
+    obskit::ring::reset();
+    obskit::set_enabled(true, false);
+    obskit::set_ring_enabled(true);
+    let result = run(rest);
+    obskit::set_ring_enabled(false);
+    obskit::set_enabled(false, false);
+    let (events, dropped) = obskit::ring::snapshot_events();
+    let n_events = events.len();
+    obskit::ring::write_dump(std::path::Path::new(out))
+        .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    let report = result?;
+    Ok(format!(
+        "{report}\n\nwrote {n_events} flight events ({dropped} dropped) to {out}"
+    ))
 }
 
 fn human_bytes(n: u64) -> String {
@@ -955,14 +1022,16 @@ USAGE:
   specrepro crossval --data FILE [--folds K] [--min-leaf N] [--seed S] [--threads T]
   specrepro serve    --model MODEL.json | --suite NAME [--name NAME]
                      [--addr HOST:PORT] [--window-us U] [--batch-rows N]
-                     [--queue-rows N] [--max-conns N]
+                     [--queue-rows N] [--max-conns N] [--p99-ms MS]
+                     [--trace-sample N]
   specrepro stream   --out FILE.spdc [--suite NAME] [--hosts N]
                      [--intervals N] [--seed S] [--shards N] [--threads T]
                      [--chunk-rows N] [--fault-seed S] [--window-rows N]
                      [--stride N] [--min-leaf N]
   specrepro cache    stats [--json] | clear
   specrepro trace    --out FILE <command ...>
-  specrepro metrics  [--json] <command ...>
+  specrepro metrics  [--json | --prom] <command ...>
+  specrepro flight   --out FILE <command ...>
 
 --suite NAME resolves through the generation-parameterized suite
 registry; `specrepro suite list` prints every registered suite with its
@@ -984,11 +1053,20 @@ silences the per-stage cache log on stderr.
 
 serve hosts the model as an HTTP prediction service (POST /predict,
 /classify; GET /healthz, /metrics; POST /swap promotes a cached tree by
-fingerprint with zero downtime; POST /shutdown drains and exits).
-Requests are coalesced into columnar batches — flushed after
---window-us microseconds or at --batch-rows rows, whichever comes
-first; --window-us 0 disables batching. --queue-rows bounds the work
-queue (overload answers 429 + Retry-After).
+fingerprint with zero downtime; POST /debug/flight dumps the flight
+recorder; POST /shutdown drains and exits). /metrics serves JSON by
+default and the Prometheus/OpenMetrics text exposition with
+?format=prom (or Accept: application/openmetrics-text). /healthz
+reports name@version model fingerprints and evaluates the SLO monitors
+(p99 latency under --p99-ms, 429 rate). Requests are coalesced into
+columnar batches — flushed after --window-us microseconds or at
+--batch-rows rows, whichever comes first; --window-us 0 disables
+batching. --queue-rows bounds the work queue (overload answers 429 +
+Retry-After and the flight recorder auto-dumps on shed bursts).
+--trace-sample N (or SPECREPRO_TRACE_SAMPLE with tracing enabled)
+traces one request in N end to end: the X-Request-Id echoed on the
+response links the request's parse, queue-wait, batch, engine, and
+respond spans in the Chrome-trace export.
 
 stream simulates a fleet of --hosts PMU-sampling hosts feeding a
 sharded aggregator and seals the rows into a chunked .spdc container
@@ -1001,11 +1079,14 @@ the fleet, shard, and chunk configuration — never on --threads.
 duplicates, reorders, host deaths, torn chunk writes); recovery keeps
 sealed bytes identical to a clean run of the surviving rows.
 
-trace and metrics wrap any other command with telemetry enabled: trace
-writes a Chrome-trace JSON (chrome://tracing, ui.perfetto.dev) of the
-trainer/engine/pipeline spans, metrics dumps the counter registry.
-Every command also honors SPECREPRO_TRACE_OUT=FILE and
-SPECREPRO_METRICS_OUT=FILE to capture the same telemetry to files.";
+trace, metrics, and flight wrap any other command with telemetry
+enabled: trace writes a Chrome-trace JSON (chrome://tracing,
+ui.perfetto.dev) of the trainer/engine/pipeline spans, metrics dumps
+the counter registry (--prom renders the OpenMetrics exposition), and
+flight writes the flight-recorder ring — the most recent operational
+events — even when the wrapped command fails. Every command also honors
+SPECREPRO_TRACE_OUT=FILE, SPECREPRO_METRICS_OUT=FILE, and
+SPECREPRO_FLIGHT_OUT=FILE to capture the same telemetry to files.";
 
 /// Dispatches a full argument vector (without the program name).
 ///
@@ -1017,9 +1098,9 @@ pub fn run(args: &[String]) -> Result<String> {
     let (command, rest) = args
         .split_first()
         .ok_or_else(|| CliError(format!("no command given\n\n{USAGE}")))?;
-    // `suite`, `cache`, `trace`, and `metrics` take positional
-    // arguments, which `Flags::parse` rejects, so they dispatch before
-    // flag parsing.
+    // `suite`, `cache`, `trace`, `metrics`, and `flight` take
+    // positional arguments, which `Flags::parse` rejects, so they
+    // dispatch before flag parsing.
     if command == "suite" {
         return cmd_suite(rest);
     }
@@ -1031,6 +1112,9 @@ pub fn run(args: &[String]) -> Result<String> {
     }
     if command == "metrics" {
         return cmd_metrics(rest);
+    }
+    if command == "flight" {
+        return cmd_flight(rest);
     }
     let flags = Flags::parse(rest)?;
     match command.as_str() {
@@ -1227,6 +1311,13 @@ mod tests {
             .unwrap_err()
             .0
             .contains("no command"));
+        assert!(run(&argv(&["metrics", "--prom"]))
+            .unwrap_err()
+            .0
+            .contains("no command"));
+        assert!(run(&argv(&["flight"])).unwrap_err().0.contains("usage"));
+        let err = run(&argv(&["flight", "--out", "/tmp/f.json"])).unwrap_err();
+        assert!(err.0.contains("no command to record"));
     }
 
     #[test]
@@ -1271,7 +1362,73 @@ mod tests {
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(parsed.get("counters").is_some(), "{json}");
+        assert!(
+            parsed
+                .get("obs")
+                .and_then(|o| o.get("schema_version"))
+                .is_some(),
+            "{json}"
+        );
+        let prom = run(&argv(&[
+            "metrics",
+            "--prom",
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        assert!(prom.contains("# TYPE trainer_fits counter"), "{prom}");
+        assert!(prom.contains("trainer_fits_total "), "{prom}");
+        assert!(prom.trim_end().ends_with("# EOF"), "{prom}");
         assert!(!obskit::metrics_enabled(), "metrics left enabled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_writes_a_ring_dump_of_the_wrapped_command() {
+        let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("specrepro-cli-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("flight.csv");
+        run(&argv(&[
+            "generate",
+            "--suite",
+            "cpu2006",
+            "--samples",
+            "400",
+            "--seed",
+            &unique_seed(),
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dir.join("flight.json");
+        let report = run(&argv(&[
+            "flight",
+            "--out",
+            out.to_str().unwrap(),
+            "fit",
+            "--data",
+            csv.to_str().unwrap(),
+            "--min-leaf",
+            "40",
+        ]))
+        .unwrap();
+        assert!(report.contains("flight events"), "{report}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let schema = doc
+            .get("obs")
+            .and_then(|o| o.get("schema_version"))
+            .and_then(serde_json::Value::as_u64);
+        assert_eq!(schema, Some(1), "{doc:?}");
+        assert!(
+            matches!(doc.get("events"), Some(serde_json::Value::Array(_))),
+            "{doc:?}"
+        );
+        assert!(!obskit::ring_enabled(), "ring left enabled");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,6 +20,44 @@ use crate::metrics::{snapshot, Snapshot};
 use crate::span;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema version of the JSON metrics/trace exports. Version 1 was
+/// the undated PR 5 format; version 2 added the `"obs"` metadata
+/// object (this constant, the export sequence, and timestamps) and
+/// the `"float_gauges"` section.
+pub const EXPORT_SCHEMA_VERSION: u64 = 2;
+
+/// The shared export-metadata object carried by every JSON export
+/// (metrics, trace, flight dump) under an `"obs"` key:
+/// `schema_version` identifies the document layout, `export_seq` is a
+/// process-wide strictly increasing sequence number and
+/// `export_timestamp_us` the monotonic trace-epoch clock — together
+/// they totally order archived dumps from one process — and
+/// `export_unix_ms` is wall-clock for cross-process archaeology.
+pub fn export_meta(schema_version: u64) -> String {
+    static EXPORT_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    format!(
+        "{{\"schema_version\":{schema_version},\"export_seq\":{seq},\
+         \"export_timestamp_us\":{},\"export_unix_ms\":{unix_ms}}}",
+        span::now_us()
+    )
+}
+
+/// One `f64` as a JSON value (`null` for non-finite values, which
+/// RFC 8259 cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// Renders `s` as a JSON string literal, with RFC 8259 escaping.
 pub fn json_string(s: &str) -> String {
@@ -75,6 +113,13 @@ fn render_snapshot(out: &mut String, snap: &Snapshot) {
         }
         let _ = write!(out, "{}:{value}", json_string(name));
     }
+    out.push_str("},\"float_gauges\":{");
+    for (i, (name, value)) in snap.float_gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), json_f64(*value));
+    }
     out.push_str("},\"histograms\":{");
     for (i, hist) in snap.hists.iter().enumerate() {
         if i > 0 {
@@ -99,10 +144,16 @@ fn render_snapshot(out: &mut String, snap: &Snapshot) {
 }
 
 /// The full metric registry as a JSON document:
-/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+/// `{"obs": {...}, "counters": {...}, "gauges": {...},
+/// "float_gauges": {...}, "histograms": {...}}`.
 pub fn metrics_json() -> String {
-    let mut out = String::new();
-    render_snapshot(&mut out, &snapshot());
+    let mut out = String::from("{\"obs\":");
+    out.push_str(&export_meta(EXPORT_SCHEMA_VERSION));
+    let mut body = String::new();
+    render_snapshot(&mut body, &snapshot());
+    // Splice the snapshot's own object body after the metadata key.
+    out.push(',');
+    out.push_str(&body[1..]);
     out
 }
 
@@ -114,6 +165,11 @@ pub fn metrics_human() -> String {
     for (name, value) in snap.counters.iter().chain(&snap.gauges) {
         if *value > 0 {
             let _ = writeln!(out, "  {name:<32} {value:>12}");
+        }
+    }
+    for (name, value) in &snap.float_gauges {
+        if *value != 0.0 {
+            let _ = writeln!(out, "  {name:<32} {value:>12.6}");
         }
     }
     for hist in &snap.hists {
@@ -139,7 +195,9 @@ pub fn metrics_human() -> String {
 /// and the full metrics dump is mirrored under `"metrics"`.
 pub fn trace_json() -> String {
     let snap = snapshot();
-    let mut out = String::from("{\"traceEvents\":[");
+    let mut out = String::from("{\"obs\":");
+    out.push_str(&export_meta(EXPORT_SCHEMA_VERSION));
+    out.push_str(",\"traceEvents\":[");
     let (last_ts, dropped) = span::with_buffer(|buffer| {
         let mut last_ts = 0u64;
         for (i, event) in buffer.events.iter().enumerate() {

@@ -29,7 +29,8 @@
 //! ```text
 //! SPECREPRO_TRACE_OUT=trace.json    # enable tracing+metrics, write a Chrome trace on exit
 //! SPECREPRO_METRICS_OUT=metrics.json# enable metrics, write the JSON dump on exit
-//! SPECREPRO_OBS=1                   # enable metrics+tracing without writing files
+//! SPECREPRO_FLIGHT_OUT=flight.json  # enable the flight recorder, write its dump on exit
+//! SPECREPRO_OBS=1                   # enable every layer without writing files
 //! ```
 //!
 //! # The zero-overhead contract
@@ -66,6 +67,9 @@
 
 pub mod export;
 pub mod metrics;
+pub mod monitor;
+pub mod prom;
+pub mod ring;
 pub mod span;
 
 use std::path::PathBuf;
@@ -75,6 +79,8 @@ use std::sync::atomic::{AtomicU8, Ordering};
 const METRICS: u8 = 1 << 0;
 /// Bit in [`STATE`]: spans and instant events are buffered.
 const TRACING: u8 = 1 << 1;
+/// Bit in [`STATE`]: the flight-recorder ring captures events.
+const RING: u8 = 1 << 2;
 
 /// The single global enabled word. Every instrumentation macro/function
 /// begins with one relaxed load of this — the entirety of the disabled
@@ -93,9 +99,16 @@ pub fn tracing_enabled() -> bool {
     STATE.load(Ordering::Relaxed) & TRACING != 0
 }
 
-/// Turns the metrics and tracing layers on or off, globally.
+/// True if the flight-recorder ring is capturing events.
+#[inline]
+pub fn ring_enabled() -> bool {
+    STATE.load(Ordering::Relaxed) & RING != 0
+}
+
+/// Turns the metrics and tracing layers on or off, globally. The
+/// flight-recorder bit is left untouched; see [`set_ring_enabled`].
 pub fn set_enabled(metrics: bool, tracing: bool) {
-    let mut state = 0;
+    let mut state = STATE.load(Ordering::Relaxed) & RING;
     if metrics {
         state |= METRICS;
     }
@@ -103,6 +116,17 @@ pub fn set_enabled(metrics: bool, tracing: bool) {
         state |= TRACING;
     }
     STATE.store(state, Ordering::Relaxed);
+}
+
+/// Turns the flight-recorder ring on or off, independently of the
+/// metrics/tracing layers (it is cheap enough to leave on in serving
+/// processes while the trace buffer stays off).
+pub fn set_ring_enabled(enabled: bool) {
+    if enabled {
+        STATE.fetch_or(RING, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!RING, Ordering::Relaxed);
+    }
 }
 
 /// Starts a scope timer recording a Chrome-trace complete event when
@@ -156,6 +180,7 @@ fn env_path(key: &str) -> Option<PathBuf> {
 pub struct ObsSession {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
 }
 
 impl ObsSession {
@@ -163,11 +188,13 @@ impl ObsSession {
     /// `SPECREPRO_TRACE_OUT=<path>` enables tracing and metrics and
     /// writes the Chrome trace there on completion;
     /// `SPECREPRO_METRICS_OUT=<path>` enables metrics and writes the
-    /// JSON dump; `SPECREPRO_OBS=1` enables both layers without
-    /// writing files.
+    /// JSON dump; `SPECREPRO_FLIGHT_OUT=<path>` enables the flight
+    /// recorder and writes its dump; `SPECREPRO_OBS=1` enables every
+    /// layer without writing files.
     pub fn from_env() -> ObsSession {
         let trace_out = env_path("SPECREPRO_TRACE_OUT");
         let metrics_out = env_path("SPECREPRO_METRICS_OUT");
+        let flight_out = env_path("SPECREPRO_FLIGHT_OUT");
         let force = matches!(
             std::env::var("SPECREPRO_OBS").as_deref(),
             Ok("1") | Ok("on")
@@ -177,9 +204,13 @@ impl ObsSession {
         if metrics || tracing {
             set_enabled(metrics, tracing);
         }
+        if flight_out.is_some() || force {
+            set_ring_enabled(true);
+        }
         ObsSession {
             trace_out,
             metrics_out,
+            flight_out,
         }
     }
 
@@ -209,6 +240,11 @@ impl ObsSession {
         if let Some(path) = self.metrics_out.take() {
             export::write_metrics(&path)?;
             eprintln!("[obskit] wrote metrics to {}", path.display());
+            written.push(path);
+        }
+        if let Some(path) = self.flight_out.take() {
+            ring::write_dump(&path)?;
+            eprintln!("[obskit] wrote flight dump to {}", path.display());
             written.push(path);
         }
         Ok(written)

@@ -30,6 +30,10 @@ pub enum Kind {
     Counter,
     /// Last-written (or maximum) value.
     Gauge,
+    /// Last-written `f64`, stored as its IEEE-754 bit pattern so the
+    /// backing cell stays a plain `AtomicU64`. Written via
+    /// [`gauge_set_f64`], read via [`value_f64`].
+    FloatGauge,
 }
 
 macro_rules! define_metrics {
@@ -101,6 +105,8 @@ define_metrics! {
     ServeRejectedBusy, "serve.rejected_busy", Counter;
     ServeBadRequests, "serve.bad_requests", Counter;
     ServeModelSwaps, "serve.model_swaps", Counter;
+    ServeRequestsTraced, "serve.requests_traced", Counter;
+    ServeUptimeSeconds, "serve.uptime_seconds", Gauge;
     // Streaming ingestion and out-of-core training (crates/stream).
     StreamRowsIngested, "stream.rows_ingested", Counter;
     StreamChunksSealed, "stream.chunks_sealed", Counter;
@@ -111,6 +117,10 @@ define_metrics! {
     StreamRefits, "stream.refits", Counter;
     StreamRefitCacheHits, "stream.refit_cache_hits", Counter;
     StreamBacklogRows, "stream.backlog_rows", Gauge;
+    StreamRefitHoldoutMae, "stream.refit_holdout_mae", FloatGauge;
+    // The observability subsystem itself (crates/obskit).
+    ObsMonitorFires, "obs.monitor_fires", Counter;
+    ObsFlightDumps, "obs.flight_dumps", Counter;
 }
 
 macro_rules! define_hists {
@@ -147,6 +157,7 @@ define_hists! {
     ServeRequestNs, "serve.request_ns";
     StreamRefitNs, "stream.refit_ns";
     StreamChunkRows, "stream.chunk_rows";
+    StreamRefitHoldoutMaeMicro, "stream.refit_holdout_mae_micro";
 }
 
 /// Log₂ bucket count: bucket `b` holds observations in
@@ -220,6 +231,21 @@ pub fn gauge_max(metric: Metric, value: u64) {
     }
 }
 
+/// Sets a [`Kind::FloatGauge`] slot, storing the `f64` bit pattern. A
+/// no-op unless metrics are enabled.
+#[inline]
+pub fn gauge_set_f64(metric: Metric, value: f64) {
+    if crate::metrics_enabled() {
+        VALUES[metric as usize].store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// The current value of a [`Kind::FloatGauge`] slot (0.0 when never
+/// written — the zero bit pattern is positive zero).
+pub fn value_f64(metric: Metric) -> f64 {
+    f64::from_bits(VALUES[metric as usize].load(Ordering::Relaxed))
+}
+
 /// Records one observation into a log₂-bucketed histogram. A no-op
 /// unless metrics are enabled.
 #[inline]
@@ -270,12 +296,14 @@ pub struct HistSnapshot {
 }
 
 /// A point-in-time copy of the whole registry.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
     /// `(name, value)` for every counter, in declaration order.
     pub counters: Vec<(&'static str, u64)>,
     /// `(name, value)` for every gauge, in declaration order.
     pub gauges: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every float gauge, in declaration order.
+    pub float_gauges: Vec<(&'static str, f64)>,
     /// Every histogram, in declaration order.
     pub hists: Vec<HistSnapshot>,
 }
@@ -289,6 +317,14 @@ impl Snapshot {
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
     }
+
+    /// The value of a float gauge by its export name, if present.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.float_gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Copies the whole registry. Cheap (a few hundred relaxed loads) and
@@ -297,10 +333,12 @@ impl Snapshot {
 pub fn snapshot() -> Snapshot {
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
+    let mut float_gauges = Vec::new();
     for m in Metric::ALL {
         match m.kind() {
             Kind::Counter => counters.push((m.name(), value(m))),
             Kind::Gauge => gauges.push((m.name(), value(m))),
+            Kind::FloatGauge => float_gauges.push((m.name(), value_f64(m))),
         }
     }
     let hists = Hist::ALL
@@ -327,6 +365,7 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         counters,
         gauges,
+        float_gauges,
         hists,
     }
 }

@@ -1,0 +1,167 @@
+//! Prometheus / OpenMetrics text exposition over the metric registry.
+//!
+//! A hand-rolled renderer (the grammar is a handful of line forms; no
+//! dependency is worth it) that walks a [`Snapshot`] and emits the
+//! OpenMetrics text format:
+//!
+//! * dotted registry names become underscore names
+//!   (`trainer.nodes_expanded` → `trainer_nodes_expanded`),
+//! * counters are exposed as `<name>_total` samples under a
+//!   `# TYPE <name> counter` family,
+//! * gauges (integer and float) as plain samples,
+//! * log₂ histograms as **cumulative** `<name>_bucket{le="..."}`
+//!   series — bucket bounds are the registry's inclusive upper bounds
+//!   rendered as floats, the top bucket folds into `+Inf` — plus
+//!   `<name>_sum` and `<name>_count`,
+//! * the document ends with the mandatory `# EOF` terminator.
+//!
+//! The exposition is a pure function of the snapshot, so scraping it
+//! is as cheap as the JSON dump and equally safe while workers run.
+//! CI's `scrape-smoke` job validates the output against a small
+//! line-grammar checker.
+
+use crate::metrics::{snapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// The HTTP `Content-Type` for this exposition format.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// A dotted registry name as an OpenMetrics metric name.
+fn om_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// One `f64` as an OpenMetrics value (`+Inf` / `-Inf` / `NaN` spelling).
+fn om_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one snapshot as an OpenMetrics text document.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = om_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n}_total {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = om_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.float_gauges {
+        let n = om_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", om_f64(*value));
+    }
+    for hist in &snap.hists {
+        let n = om_name(hist.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for &(bound, count) in &hist.buckets {
+            cumulative += count;
+            if bound == u64::MAX {
+                // The top registry bucket (2^63..) is the +Inf bucket,
+                // emitted unconditionally below.
+                continue;
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}.0\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{n}_sum {}", hist.sum);
+        let _ = writeln!(out, "{n}_count {}", hist.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// The current registry as an OpenMetrics text document.
+pub fn prom_text() -> String {
+    render(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSnapshot;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![("trainer.fits", 3), ("serve.requests", 0)],
+            gauges: vec![("engine.max_descent_depth", 5)],
+            float_gauges: vec![("stream.refit_holdout_mae", 0.049)],
+            hists: vec![HistSnapshot {
+                name: "serve.request_ns",
+                count: 7,
+                sum: 900,
+                buckets: vec![(127, 4), (255, 2), (u64::MAX, 1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE trainer_fits counter\ntrainer_fits_total 3\n"));
+        assert!(text.contains("serve_requests_total 0\n"));
+        assert!(
+            text.contains("# TYPE engine_max_descent_depth gauge\nengine_max_descent_depth 5\n")
+        );
+        assert!(text
+            .contains("# TYPE stream_refit_holdout_mae gauge\nstream_refit_holdout_mae 0.049\n"));
+        assert!(text.contains("# TYPE serve_request_ns histogram\n"));
+        // Cumulative buckets: 4, then 4+2, then +Inf = total count.
+        assert!(text.contains("serve_request_ns_bucket{le=\"127.0\"} 4\n"));
+        assert!(text.contains("serve_request_ns_bucket{le=\"255.0\"} 6\n"));
+        assert!(text.contains("serve_request_ns_bucket{le=\"+Inf\"} 7\n"));
+        assert!(text.contains("serve_request_ns_sum 900\n"));
+        assert!(text.contains("serve_request_ns_count 7\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket() {
+        let snap = Snapshot {
+            hists: vec![HistSnapshot {
+                name: "trainer.node_rows",
+                count: 0,
+                sum: 0,
+                buckets: Vec::new(),
+            }],
+            ..Snapshot::default()
+        };
+        let text = render(&snap);
+        assert!(text.contains("trainer_node_rows_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("trainer_node_rows_count 0\n"));
+    }
+
+    #[test]
+    fn float_specials_use_openmetrics_spellings() {
+        assert_eq!(om_f64(f64::NAN), "NaN");
+        assert_eq!(om_f64(f64::INFINITY), "+Inf");
+        assert_eq!(om_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(om_f64(0.123), "0.123");
+    }
+
+    #[test]
+    fn live_registry_renders_every_family_once() {
+        let text = prom_text();
+        // One TYPE line per metric/hist slot, no duplicates.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+        let expected = crate::metrics::N_METRICS + crate::metrics::N_HISTS;
+        assert_eq!(type_lines.len(), expected);
+        let mut dedup = type_lines.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), type_lines.len());
+        assert!(text.ends_with("# EOF\n"));
+    }
+}

@@ -57,12 +57,15 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_us() -> u64 {
+/// Microseconds since the process trace epoch (first use of the
+/// tracing/flight layer). Public for subsystems that timestamp their
+/// own records — request tracing in `serve`, the flight recorder.
+pub fn now_us() -> u64 {
     u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// This thread's stable small-integer trace id, assigned on first use.
-fn thread_ordinal() -> u64 {
+pub(crate) fn thread_ordinal() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -136,6 +139,51 @@ impl Drop for Span {
                 args: String::new(),
             });
         }
+    }
+}
+
+/// Records a complete event (`"ph":"X"`) with explicit timing and
+/// structured args. For retroactive spans whose start is only known
+/// after the fact (request tracing reconstructs parse/queue/batch
+/// phases from recorded instants). `ts_us` is microseconds since the
+/// trace epoch ([`now_us`]); fields render only when tracing is on.
+pub fn complete(
+    cat: &'static str,
+    name: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    fields: &[(&str, &dyn std::fmt::Display)],
+) {
+    if crate::tracing_enabled() {
+        let args = if fields.is_empty() {
+            String::new()
+        } else {
+            crate::export::render_args(fields)
+        };
+        push(TraceEvent {
+            name,
+            cat,
+            phase: 'X',
+            ts_us,
+            dur_us,
+            tid: thread_ordinal(),
+            args,
+        });
+    }
+}
+
+/// Records a complete event spanning `started ..= now`, with args.
+/// Convenience over [`complete`] for callers holding an `Instant`.
+pub fn complete_since(
+    cat: &'static str,
+    name: &'static str,
+    started: Instant,
+    fields: &[(&str, &dyn std::fmt::Display)],
+) {
+    if crate::tracing_enabled() {
+        let dur_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let end_us = now_us();
+        complete(cat, name, end_us.saturating_sub(dur_us), dur_us, fields);
     }
 }
 

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use obskit::metrics::{self, Hist, Metric};
+use obskit::ring::{self, FlightKind};
 use perfcounters::events::N_EVENTS;
 use perfcounters::{Dataset, Sample};
 
@@ -155,6 +156,10 @@ struct Job {
     n_rows: usize,
     ticket: Arc<TicketInner>,
     enqueued: Instant,
+    /// Sampled trace request id, or 0 when this request is not traced.
+    /// Traced jobs leave queue-wait/batch/engine spans tagged with the
+    /// id so one request's path is reconstructable from the trace.
+    req_id: u64,
 }
 
 struct State {
@@ -213,6 +218,20 @@ impl Coalescer {
         kind: RequestKind,
         rows: Vec<f64>,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_traced(model, kind, rows, 0)
+    }
+
+    /// [`submit`](Coalescer::submit) carrying a sampled trace request
+    /// id (0 = untraced). The id rides the job through batching so the
+    /// queue-wait, batch-membership, and engine spans it appears in can
+    /// be joined back to the request in one Chrome-trace export.
+    pub fn submit_traced(
+        &self,
+        model: Arc<ModelVersion>,
+        kind: RequestKind,
+        rows: Vec<f64>,
+        req_id: u64,
+    ) -> Result<Ticket, SubmitError> {
         assert!(
             !rows.is_empty() && rows.len().is_multiple_of(N_EVENTS),
             "submit wants non-empty row-major N_EVENTS-wide rows"
@@ -241,8 +260,17 @@ impl Coalescer {
             n_rows,
             ticket: Arc::clone(&ticket),
             enqueued: Instant::now(),
+            req_id,
         });
         drop(state);
+        if req_id != 0 {
+            ring::record(
+                FlightKind::RequestSubmitted,
+                req_id,
+                n_rows as u64,
+                kind as u64,
+            );
+        }
         // Wake the batcher only when this submit changes what it should
         // do: the queue went non-empty (it may be parked with no timer),
         // the size trigger just crossed, or unbatched mode (every
@@ -351,14 +379,48 @@ fn take_batch(state: &mut State, cfg: &CoalescerConfig) -> Vec<Job> {
 /// Runs one flushed batch: group jobs by (model version, kind), build
 /// one columnar [`Dataset`] per group, run one batch-kernel call, and
 /// scatter results back to each job's ticket.
+/// Comma-joined sampled request ids in a set of jobs (tracing only).
+fn traced_ids(jobs: &[Job], members: Option<&[usize]>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut push = |job: &Job| {
+        if job.req_id != 0 {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", job.req_id);
+        }
+    };
+    match members {
+        Some(members) => members.iter().for_each(|&i| push(&jobs[i])),
+        None => jobs.iter().for_each(push),
+    }
+    out
+}
+
 fn execute(mut batch: Vec<Job>) {
     if batch.is_empty() {
         return;
     }
-    let _span = obskit::span("serve", "serve.batch");
+    let tracing = obskit::tracing_enabled();
+    let batch_started = tracing.then(Instant::now);
     let total_rows: usize = batch.iter().map(|j| j.n_rows).sum();
     metrics::incr(Metric::ServeBatches);
     metrics::observe(Hist::ServeBatchRows, total_rows as u64);
+    if tracing {
+        // Retroactive queue-wait spans: enqueue → flush, one per
+        // sampled request.
+        for job in &batch {
+            if job.req_id != 0 {
+                obskit::span::complete_since(
+                    "serve",
+                    "serve.queue_wait",
+                    job.enqueued,
+                    &[("req_id", &job.req_id), ("rows", &job.n_rows)],
+                );
+            }
+        }
+    }
 
     // Group by identity of the captured model version + kind. Batches
     // are small (≤ max_batch_rows) and the distinct-group count tiny,
@@ -375,6 +437,7 @@ fn execute(mut batch: Vec<Job>) {
         }
     }
 
+    let n_groups = groups.len();
     for (_, kind, members) in groups {
         let model = Arc::clone(&batch[members[0]].model);
         let engine = &model.engine;
@@ -389,7 +452,20 @@ fn execute(mut batch: Vec<Job>) {
         match kind {
             RequestKind::Predict => {
                 metrics::add(Metric::ServeRowsPredicted, group_rows as u64);
+                let engine_started = tracing.then(Instant::now);
                 let out = engine.predict_batch(&ds);
+                if let Some(started) = engine_started {
+                    obskit::span::complete_since(
+                        "serve",
+                        "serve.engine",
+                        started,
+                        &[
+                            ("kind", &"predict"),
+                            ("rows", &group_rows),
+                            ("req_ids", &traced_ids(&batch, Some(&members))),
+                        ],
+                    );
+                }
                 let mut offsets = Vec::with_capacity(members.len());
                 let mut offset = 0;
                 for &i in &members {
@@ -410,12 +486,26 @@ fn execute(mut batch: Vec<Job>) {
                     let mut slot = std::mem::take(&mut batch[i].rows);
                     slot.clear();
                     slot.extend_from_slice(&out[off..off + n]);
+                    record_resolved(&batch[i]);
                     resolve(&batch[i].ticket, Outcome::Predictions(slot));
                 }
             }
             RequestKind::Classify => {
                 metrics::add(Metric::ServeRowsClassified, group_rows as u64);
+                let engine_started = tracing.then(Instant::now);
                 let out = engine.classify_batch(&ds);
+                if let Some(started) = engine_started {
+                    obskit::span::complete_since(
+                        "serve",
+                        "serve.engine",
+                        started,
+                        &[
+                            ("kind", &"classify"),
+                            ("rows", &group_rows),
+                            ("req_ids", &traced_ids(&batch, Some(&members))),
+                        ],
+                    );
+                }
                 let mut offsets = Vec::with_capacity(members.len());
                 let mut offset = 0;
                 for &i in &members {
@@ -425,10 +515,42 @@ fn execute(mut batch: Vec<Job>) {
                 for (&i, &off) in members.iter().zip(&offsets).rev() {
                     let job = &batch[i];
                     let slice = out[off..off + job.n_rows].to_vec();
+                    record_resolved(job);
                     resolve(&job.ticket, Outcome::Classes(slice));
                 }
             }
         }
+    }
+    ring::record(
+        FlightKind::BatchFlushed,
+        batch.len() as u64,
+        total_rows as u64,
+        n_groups as u64,
+    );
+    if let Some(started) = batch_started {
+        obskit::span::complete_since(
+            "serve",
+            "serve.batch",
+            started,
+            &[
+                ("jobs", &batch.len()),
+                ("rows", &total_rows),
+                ("req_ids", &traced_ids(&batch, None)),
+            ],
+        );
+    }
+}
+
+/// Flight-records the resolution of a sampled request (id, rows,
+/// submit→resolve µs). Untraced jobs cost one branch.
+fn record_resolved(job: &Job) {
+    if job.req_id != 0 {
+        ring::record(
+            FlightKind::RequestResolved,
+            job.req_id,
+            job.n_rows as u64,
+            u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
     }
 }
 

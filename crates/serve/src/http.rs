@@ -40,14 +40,20 @@ const MAX_HEADERS: usize = 64;
 pub struct Request<'a> {
     /// Request method, verbatim (`GET`, `POST`, …).
     pub method: &'a str,
-    /// Request target, verbatim (always starts with `/`).
+    /// Request path (target up to any `?`, always starts with `/`).
     pub path: &'a str,
+    /// Query string (the target after `?`, without the `?`); empty
+    /// when the target has none.
+    pub query: &'a str,
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
     /// overrides either way).
     pub keep_alive: bool,
     /// `Content-Type` value, verbatim (compare case-insensitively).
     pub content_type: Option<&'a str>,
+    /// `Accept` value, verbatim (drives `/metrics` content
+    /// negotiation).
+    pub accept: Option<&'a str>,
     /// `X-Model` header: which registry entry the request targets
     /// (defaults to the server's sole/default model when absent).
     pub model: Option<&'a str>,
@@ -126,6 +132,10 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, HttpErr
             "path must start with '/' and carry no controls",
         ));
     }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     let default_keep_alive = match version {
         "HTTP/1.1" => true,
         "HTTP/1.0" => false,
@@ -135,6 +145,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, HttpErr
     let mut content_length = 0usize;
     let mut keep_alive = default_keep_alive;
     let mut content_type = None;
+    let mut accept = None;
     let mut model = None;
     let mut n_headers = 0usize;
     for line in lines {
@@ -165,6 +176,8 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, HttpErr
             }
         } else if name.eq_ignore_ascii_case("content-type") {
             content_type = Some(value);
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value);
         } else if name.eq_ignore_ascii_case("x-model") {
             model = Some(value);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
@@ -182,8 +195,10 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, HttpErr
         Request {
             method,
             path,
+            query,
             keep_alive,
             content_type,
+            accept,
             model,
             body: &buf[head_len..total],
         },
@@ -284,6 +299,24 @@ mod tests {
         let (b, used2) = parse_request(&s.as_bytes()[used..]).unwrap().unwrap();
         assert_eq!(b.path, "/b");
         assert_eq!(used + used2, s.len());
+    }
+
+    #[test]
+    fn splits_query_and_extracts_accept() {
+        let (r, _) = req(
+            "GET /metrics?format=prom HTTP/1.1\r\nAccept: application/openmetrics-text\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query, "format=prom");
+        assert_eq!(r.accept, Some("application/openmetrics-text"));
+        let (r, _) = req("GET /metrics HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query, "");
+        assert_eq!(r.accept, None);
+        let (r, _) = req("GET /metrics? HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!((r.path, r.query), ("/metrics", ""));
     }
 
     #[test]

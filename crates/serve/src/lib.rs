@@ -60,4 +60,4 @@ pub mod server;
 pub use coalesce::{Coalescer, CoalescerConfig, Outcome, RequestKind, SubmitError};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Mode};
 pub use registry::{ModelRegistry, ModelVersion};
-pub use server::{Server, ServerConfig};
+pub use server::{set_trace_sample, Server, ServerConfig};

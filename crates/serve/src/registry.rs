@@ -114,6 +114,21 @@ impl ModelRegistry {
         names
     }
 
+    /// `(name, version fingerprint)` for every registered model,
+    /// sorted by name — `/healthz` surfaces these so scrapers can
+    /// alert on stale model versions, not just missing names.
+    pub fn versions(&self) -> Vec<(String, String)> {
+        let mut versions: Vec<(String, String)> = self
+            .slots
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, v)| (name.clone(), v.version.clone()))
+            .collect();
+        versions.sort_unstable();
+        versions
+    }
+
     /// Number of registered models.
     pub fn len(&self) -> usize {
         self.slots.read().expect("registry lock poisoned").len()
@@ -178,6 +193,10 @@ mod tests {
         let _ = resolved.engine.predict(&probe); // old version still serves
 
         assert_eq!(reg.names(), vec!["cpu2006".to_string()]);
+        assert_eq!(
+            reg.versions(),
+            vec![("cpu2006".to_string(), v2.version.clone())]
+        );
     }
 
     #[test]

@@ -20,25 +20,41 @@
 //!
 //! | method+path      | behavior                                              |
 //! |------------------|-------------------------------------------------------|
-//! | `POST /predict`  | CPI per row; text or JSON body (see [`parse_rows`])   |
-//! | `POST /classify` | 1-based linear-model number per row                   |
-//! | `GET  /healthz`  | `ok\n` + registered models in `X-Models`              |
-//! | `GET  /metrics`  | obskit metrics JSON                                   |
-//! | `POST /swap`     | hot-swap: load `{"model","key"}` from the store       |
-//! | `POST /shutdown` | acknowledge, then stop accepting and drain            |
+//! | `POST /predict`      | CPI per row; text or JSON body (see [`parse_rows`])   |
+//! | `POST /classify`     | 1-based linear-model number per row                   |
+//! | `GET  /healthz`      | `ok\n` + `name@version` models, uptime, SLO monitors  |
+//! | `GET  /metrics`      | obskit metrics: JSON, or OpenMetrics when negotiated  |
+//! | `POST /swap`         | hot-swap: load `{"model","key"}` from the store       |
+//! | `POST /debug/flight` | dump the flight-recorder ring as JSON                 |
+//! | `POST /shutdown`     | acknowledge, then stop accepting and drain            |
+//!
+//! `/metrics` content negotiation: JSON stays the default (back-compat
+//! for existing scrapers); `?format=prom` / `?format=openmetrics` or an
+//! `Accept` mentioning `openmetrics` selects the Prometheus-style text
+//! exposition ([`obskit::prom`]); `?format=json` forces JSON.
 //!
 //! Every 200 to `/predict`/`/classify` carries `X-Model-Version` (the
 //! registry fingerprint), pinning observed predictions to an exact
-//! model version even across concurrent hot swaps.
+//! model version even across concurrent hot swaps. When tracing is on,
+//! one request in [`SPECREPRO_TRACE_SAMPLE`] is assigned a request id
+//! from a lock-free allocator; the id rides the coalescer into the
+//! queue-wait/batch/engine spans, tags the request's own parse and
+//! respond spans, and is echoed in `X-Request-Id` — one Chrome-trace
+//! export reconstructs the request's whole path. With tracing off the
+//! sampler costs a single relaxed atomic load.
+//!
+//! [`SPECREPRO_TRACE_SAMPLE`]: sample_req_id
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use obskit::metrics::{self, Hist, Metric};
+use obskit::monitor::MonitorSet;
+use obskit::ring::{self, FlightKind};
 use perfcounters::events::N_EVENTS;
 use pipeline::{ArtifactStore, Fingerprint};
 use serde_json::Value;
@@ -71,6 +87,10 @@ pub struct ServerConfig {
     /// registered model; with several registered, nameless requests are
     /// rejected with 400.
     pub default_model: Option<String>,
+    /// SLO monitor rules evaluated on every `GET /healthz`. Defaults to
+    /// none (body stays exactly `ok\n`); `specrepro serve` installs
+    /// [`MonitorSet::standard_serve`].
+    pub monitors: MonitorSet,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +101,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             store: None,
             default_model: None,
+            monitors: MonitorSet::new(),
         }
     }
 }
@@ -103,6 +124,8 @@ struct Shared {
     max_connections: usize,
     store: Option<ArtifactStore>,
     default_model: Option<String>,
+    started: Instant,
+    monitors: Mutex<MonitorSet>,
 }
 
 impl Server {
@@ -119,6 +142,8 @@ impl Server {
             max_connections: cfg.max_connections,
             store: cfg.store,
             default_model: cfg.default_model,
+            started: Instant::now(),
+            monitors: Mutex::new(cfg.monitors),
         });
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -232,7 +257,90 @@ enum Reply {
         version: Arc<ModelVersion>,
         json: bool,
         start: Instant,
+        /// Trace request id; 0 = not sampled.
+        req_id: u64,
     },
+}
+
+/// Sentinel meaning "env not parsed yet" in [`TRACE_SAMPLE`].
+const TRACE_SAMPLE_UNSET: u64 = u64::MAX;
+static TRACE_SAMPLE: AtomicU64 = AtomicU64::new(TRACE_SAMPLE_UNSET);
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(0);
+
+/// Overrides `SPECREPRO_TRACE_SAMPLE` programmatically (tests, CLI
+/// flags): sample one request in `every`; `0` turns request ids off
+/// without touching tracing itself.
+pub fn set_trace_sample(every: u64) {
+    let every = if every == TRACE_SAMPLE_UNSET {
+        0
+    } else {
+        every
+    };
+    TRACE_SAMPLE.store(every, Ordering::Relaxed);
+}
+
+fn trace_sample_every() -> u64 {
+    let cached = TRACE_SAMPLE.load(Ordering::Relaxed);
+    if cached != TRACE_SAMPLE_UNSET {
+        return cached;
+    }
+    let parsed = std::env::var("SPECREPRO_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(1);
+    let parsed = if parsed == TRACE_SAMPLE_UNSET {
+        0
+    } else {
+        parsed
+    };
+    TRACE_SAMPLE.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Allocates a request id when this request is sampled for tracing,
+/// `0` otherwise. Ids come off a lock-free ordinal counter, so a
+/// sampled id is unique for the process lifetime and doubles as the
+/// request's arrival rank. With tracing disabled the cost is exactly
+/// the one relaxed load inside [`obskit::tracing_enabled`].
+fn sample_req_id() -> u64 {
+    if !obskit::tracing_enabled() {
+        return 0;
+    }
+    let every = trace_sample_every();
+    if every == 0 {
+        return 0;
+    }
+    let ordinal = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+    if ordinal.is_multiple_of(every) {
+        ordinal + 1 // ids are 1-based; 0 means "not sampled"
+    } else {
+        0
+    }
+}
+
+/// 429s inside one second that trigger a flight-recorder autodump.
+const SHED_BURST_THRESHOLD: u64 = 64;
+static SHED_WINDOW_START_US: AtomicU64 = AtomicU64::new(0);
+static SHED_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Counts a load shed and autodumps the flight ring on a burst. The
+/// window arithmetic is deliberately racy — a lost count under
+/// contention merely delays a diagnostic dump by one shed.
+fn note_shed() {
+    if !obskit::ring_enabled() {
+        return;
+    }
+    let now = obskit::span::now_us();
+    let start = SHED_WINDOW_START_US.load(Ordering::Relaxed);
+    if now.saturating_sub(start) > 1_000_000 {
+        SHED_WINDOW_START_US.store(now, Ordering::Relaxed);
+        SHED_COUNT.store(1, Ordering::Relaxed);
+        return;
+    }
+    if SHED_COUNT.fetch_add(1, Ordering::Relaxed) + 1 >= SHED_BURST_THRESHOLD {
+        SHED_COUNT.store(0, Ordering::Relaxed);
+        ring::autodump("shed-burst");
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
@@ -301,14 +409,32 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     version,
                     json,
                     start,
+                    req_id,
                 } => {
+                    let outcome = ticket.wait();
+                    let respond_started = (req_id != 0).then(Instant::now);
                     render_outcome(
                         &mut out,
                         &mut scratch,
-                        ticket.wait(),
+                        outcome,
                         &version.version,
                         json,
+                        req_id,
                     );
+                    if let Some(responded) = respond_started {
+                        obskit::span::complete_since(
+                            "serve",
+                            "serve.respond",
+                            responded,
+                            &[("req_id", &req_id)],
+                        );
+                        obskit::span::complete_since(
+                            "serve",
+                            "serve.request",
+                            start,
+                            &[("req_id", &req_id), ("model", &version.name)],
+                        );
+                    }
                     metrics::observe(
                         Hist::ServeRequestNs,
                         u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -327,19 +453,31 @@ fn dispatch(request: &Request<'_>, shared: &Arc<Shared>) -> Reply {
     match (request.method, request.path) {
         ("POST", "/predict") => submit_rows(request, shared, RequestKind::Predict),
         ("POST", "/classify") => submit_rows(request, shared, RequestKind::Classify),
-        ("GET", "/healthz") => {
-            let models = shared.registry.names().join(",");
+        ("GET", "/healthz") => Reply::Now(render_healthz(shared)),
+        ("GET", "/metrics") => {
+            if wants_openmetrics(request) {
+                Reply::Now(render(
+                    200,
+                    &[("Content-Type", obskit::prom::CONTENT_TYPE)],
+                    obskit::prom::prom_text().as_bytes(),
+                ))
+            } else {
+                Reply::Now(render(
+                    200,
+                    &[("Content-Type", "application/json")],
+                    obskit::export::metrics_json().as_bytes(),
+                ))
+            }
+        }
+        ("POST", "/debug/flight") => {
+            ring::record(FlightKind::Dump, 0, 0, 0);
+            metrics::incr(Metric::ObsFlightDumps);
             Reply::Now(render(
                 200,
-                &[("X-Models", &models), ("Content-Type", "text/plain")],
-                b"ok\n",
+                &[("Content-Type", "application/json")],
+                ring::dump_json().as_bytes(),
             ))
         }
-        ("GET", "/metrics") => Reply::Now(render(
-            200,
-            &[("Content-Type", "application/json")],
-            obskit::export::metrics_json().as_bytes(),
-        )),
         ("POST", "/swap") => Reply::Now(handle_swap(request, shared)),
         ("POST", "/shutdown") => {
             shared.stop.store(true, Ordering::Release);
@@ -351,12 +489,70 @@ fn dispatch(request: &Request<'_>, shared: &Arc<Shared>) -> Reply {
                 b"shutting down\n",
             ))
         }
-        (_, "/predict" | "/classify" | "/swap" | "/shutdown") => {
+        (_, "/predict" | "/classify" | "/swap" | "/shutdown" | "/debug/flight") => {
             bad(405, "use POST", &[("Allow", "POST")])
         }
         (_, "/healthz" | "/metrics") => bad(405, "use GET", &[("Allow", "GET")]),
         _ => bad(404, "unknown endpoint", &[]),
     }
+}
+
+/// `/metrics` format negotiation: an explicit `?format=` wins, then the
+/// `Accept` header; JSON is the default so pre-existing scrapers keep
+/// receiving byte-compatible documents.
+fn wants_openmetrics(request: &Request<'_>) -> bool {
+    for pair in request.query.split('&') {
+        if let Some(format) = pair.strip_prefix("format=") {
+            return matches!(format, "prom" | "prometheus" | "openmetrics");
+        }
+    }
+    request
+        .accept
+        .is_some_and(|accept| accept.to_ascii_lowercase().contains("openmetrics"))
+}
+
+/// `GET /healthz`: liveness plus the operational headlines — per-model
+/// version fingerprints (`X-Models: name@version,...`), uptime (also
+/// published as the `serve.uptime_seconds` gauge), and the configured
+/// SLO monitors evaluated against a fresh metrics snapshot. The body is
+/// exactly `ok\n` while no monitor fires; firing monitors append one
+/// line each and are counted in `X-Monitors-Firing`.
+fn render_healthz(shared: &Shared) -> Vec<u8> {
+    use std::fmt::Write as _;
+    metrics::gauge_set(
+        Metric::ServeUptimeSeconds,
+        shared.started.elapsed().as_secs(),
+    );
+    let mut models = String::new();
+    for (i, (name, version)) in shared.registry.versions().iter().enumerate() {
+        if i > 0 {
+            models.push(',');
+        }
+        let _ = write!(models, "{name}@{version}");
+    }
+    let alerts = shared
+        .monitors
+        .lock()
+        .expect("monitor lock poisoned")
+        .evaluate(&metrics::snapshot());
+    let firing = alerts.len().to_string();
+    let mut body = String::from("ok\n");
+    for alert in &alerts {
+        let _ = writeln!(
+            body,
+            "monitor {} firing: value {} over threshold {}",
+            alert.rule, alert.value, alert.threshold
+        );
+    }
+    render(
+        200,
+        &[
+            ("X-Models", &models),
+            ("X-Monitors-Firing", &firing),
+            ("Content-Type", "text/plain"),
+        ],
+        body.as_bytes(),
+    )
 }
 
 /// `POST /predict` / `POST /classify`: validate, resolve the model
@@ -376,15 +572,32 @@ fn submit_rows(request: &Request<'_>, shared: &Arc<Shared>, kind: RequestKind) -
         Ok(model) => model,
         Err((status, msg)) => return bad(status, &msg, &[]),
     };
-    match shared.coalescer.submit(Arc::clone(&model), kind, rows) {
+    let n_rows = rows.len() / N_EVENTS;
+    let req_id = sample_req_id();
+    if req_id != 0 {
+        metrics::incr(Metric::ServeRequestsTraced);
+        obskit::span::complete_since(
+            "serve",
+            "serve.parse",
+            start,
+            &[("req_id", &req_id), ("rows", &n_rows)],
+        );
+    }
+    match shared
+        .coalescer
+        .submit_traced(Arc::clone(&model), kind, rows, req_id)
+    {
         Ok(ticket) => Reply::Pending {
             ticket,
             version: model,
             json,
             start,
+            req_id,
         },
         Err(SubmitError::Busy) => {
             metrics::incr(Metric::ServeRejectedBusy);
+            ring::record(FlightKind::LoadShed, req_id, n_rows as u64, 0);
+            note_shed();
             Reply::Now(render_error(429, "prediction queue is full", false))
         }
         Err(SubmitError::ShuttingDown) => {
@@ -588,6 +801,12 @@ fn handle_swap(request: &Request<'_>, shared: &Arc<Shared>) -> Vec<u8> {
     };
     match shared.registry.load_from_store(store, model, key) {
         Ok(version) => {
+            ring::record(
+                FlightKind::SwapApplied,
+                key.0 as u64,
+                (key.0 >> 64) as u64,
+                0,
+            );
             let body = format!(
                 "{{\"model\":{},\"version\":\"{}\"}}\n",
                 serde_json::to_string(&version.name).expect("string serializes"),
@@ -599,7 +818,16 @@ fn handle_swap(request: &Request<'_>, shared: &Arc<Shared>) -> Vec<u8> {
                 body.as_bytes(),
             )
         }
-        Err(msg) => render_error(404, &msg, false),
+        Err(msg) => {
+            ring::record(
+                FlightKind::SwapFailed,
+                key.0 as u64,
+                (key.0 >> 64) as u64,
+                0,
+            );
+            ring::autodump("swap-failure");
+            render_error(404, &msg, false)
+        }
     }
 }
 
@@ -614,9 +842,11 @@ fn render_outcome(
     outcome: Outcome,
     version: &str,
     json: bool,
+    req_id: u64,
 ) {
     use std::fmt::Write as _;
-    let headers: &[(&str, &str)] = &[
+    let req_id_value;
+    let mut headers: Vec<(&str, &str)> = vec![
         ("X-Model-Version", version),
         (
             "Content-Type",
@@ -627,6 +857,11 @@ fn render_outcome(
             },
         ),
     ];
+    if req_id != 0 {
+        req_id_value = req_id.to_string();
+        headers.push(("X-Request-Id", &req_id_value));
+    }
+    let headers: &[(&str, &str)] = &headers;
     scratch.clear();
     match outcome {
         Outcome::Predictions(values) => {

@@ -50,7 +50,7 @@ pub mod source;
 
 pub use aggregator::{run_stream, StreamSummary};
 pub use fault::FaultConfig;
-pub use refit::{windowed_refit, RefitConfig, StreamError, WindowFit};
+pub use refit::{holdout_eval, windowed_refit, Holdout, RefitConfig, StreamError, WindowFit};
 pub use source::{FleetConfig, StreamPlan};
 
 /// Full configuration of one streaming run: the fleet, the logical

@@ -96,6 +96,17 @@ impl RefitConfig {
     }
 }
 
+/// Out-of-window holdout evaluation: the window's tree scored on the
+/// rows the stride slides into next — the stream's forward-looking
+/// drift signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Holdout {
+    /// Global row range evaluated (at most one stride past the window).
+    pub rows: Range<u64>,
+    /// Mean absolute CPI error of the window's tree over those rows.
+    pub mae: f64,
+}
+
 /// One refitted (or cache-warmed) window.
 #[derive(Debug, Clone)]
 pub struct WindowFit {
@@ -107,6 +118,9 @@ pub struct WindowFit {
     pub cached: bool,
     /// Wall-clock nanoseconds the resolution took (load or fit+store).
     pub refit_ns: u64,
+    /// Holdout MAE over the next stride of rows; `None` for the last
+    /// window of a container (no rows follow it).
+    pub holdout: Option<Holdout>,
     /// The fitted model.
     pub tree: ModelTree,
 }
@@ -141,11 +155,62 @@ pub fn windowed_refit<R: Read + Seek>(
     store: &ArtifactStore,
     cfg: &RefitConfig,
 ) -> Result<Vec<WindowFit>, StreamError> {
+    let total = reader.n_rows();
     let mut fits = Vec::new();
-    for window in cfg.windows(reader.n_rows()) {
-        fits.push(refit_window(reader, store, cfg, window)?);
+    for window in cfg.windows(total) {
+        let mut fit = refit_window(reader, store, cfg, window)?;
+        fit.holdout = holdout_eval(reader, &fit, cfg.stride, total)?;
+        publish_holdout(&fit);
+        fits.push(fit);
     }
     Ok(fits)
+}
+
+/// Scores a window's tree on the rows one stride past the window — the
+/// data the *next* refit will train on, so a rising MAE here is drift
+/// announcing itself before it lands in a model. `None` when no rows
+/// follow the window. Always computed (the value is part of the
+/// returned fit, telemetry on or off), so the determinism contract is
+/// trivially preserved.
+///
+/// # Errors
+///
+/// Chunk corruption in the holdout range surfaces exactly like window
+/// corruption: [`StreamError::Codec`].
+pub fn holdout_eval<R: Read + Seek>(
+    reader: &mut ChunkedReader<R>,
+    fit: &WindowFit,
+    stride: u64,
+    total: u64,
+) -> Result<Option<Holdout>, StreamError> {
+    let rows = fit.window.end..(fit.window.end + stride).min(total);
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    let data = reader.window_dataset(rows.clone())?;
+    let actual = data.cpi_column();
+    let mut abs_sum = 0.0;
+    for (i, cpi) in actual.iter().enumerate() {
+        abs_sum += (fit.tree.predict(data.sample(i)) - cpi).abs();
+    }
+    let mae = abs_sum / actual.len() as f64;
+    Ok(Some(Holdout { rows, mae }))
+}
+
+/// Publishes a fit's holdout MAE: the live drift gauge the SLO monitors
+/// watch ([`obskit::monitor::MonitorSet::refit_drift`]), a microunit
+/// histogram for distribution-over-windows, and a flight-recorder
+/// breadcrumb tying the value back to its row range.
+fn publish_holdout(fit: &WindowFit) {
+    let Some(holdout) = &fit.holdout else { return };
+    metrics::gauge_set_f64(Metric::StreamRefitHoldoutMae, holdout.mae);
+    metrics::observe(Hist::StreamRefitHoldoutMaeMicro, (holdout.mae * 1e6) as u64);
+    obskit::ring::record(
+        obskit::ring::FlightKind::RefitWindow,
+        fit.window.start,
+        fit.window.end,
+        holdout.mae.to_bits(),
+    );
 }
 
 /// Resolves one window: artifact-store hit or fit-and-store.
@@ -170,6 +235,7 @@ pub fn refit_window<R: Read + Seek>(
             fingerprint: key,
             cached: true,
             refit_ns,
+            holdout: None,
             tree,
         });
     }
@@ -188,6 +254,7 @@ pub fn refit_window<R: Read + Seek>(
         fingerprint: key,
         cached: false,
         refit_ns,
+        holdout: None,
         tree,
     })
 }
@@ -263,6 +330,70 @@ mod tests {
                 b.tree.predict(naive.sample(0)).to_bits()
             );
         }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn holdout_drift_monitor_fires_on_injected_regression() {
+        use obskit::metrics::Snapshot;
+        use obskit::monitor::MonitorSet;
+
+        let scfg = StreamConfig::new(FleetConfig::cpu2006(60, 12, 23))
+            .with_shards(2)
+            .with_chunk_rows(64);
+        let bytes = sealed_container("drift", &scfg);
+        let (store, root) = temp_store("drift");
+
+        let good = RefitConfig::new(150, M5Config::default().with_min_leaf(10)).with_stride(75);
+        let mut reader = ChunkedReader::open(Cursor::new(&bytes)).unwrap();
+        let fits = windowed_refit(&mut reader, &store, &good).unwrap();
+        let maes: Vec<f64> = fits
+            .iter()
+            .filter_map(|f| f.holdout.as_ref().map(|h| h.mae))
+            .collect();
+        // A window has a forward holdout exactly when rows follow it.
+        assert!(maes.len() >= 3, "need several holdout windows");
+        let total = fits.last().unwrap().window.end.max(fits[0].window.end);
+        for fit in &fits {
+            match &fit.holdout {
+                Some(h) => {
+                    assert_eq!(h.rows.start, fit.window.end);
+                    assert!(h.mae.is_finite() && h.mae >= 0.0);
+                }
+                None => assert_eq!(fit.window.end, total),
+            }
+        }
+
+        // Inject drift: an underfit trainer (min_leaf swallows whole
+        // windows) over the same container collapses each window to a
+        // near-constant model, regressing the forward-looking MAE.
+        let underfit =
+            RefitConfig::new(150, M5Config::default().with_min_leaf(100_000)).with_stride(75);
+        let mut reader = ChunkedReader::open(Cursor::new(&bytes)).unwrap();
+        let bad = windowed_refit(&mut reader, &store, &underfit).unwrap();
+        let bad_mae = bad[0].holdout.as_ref().unwrap().mae;
+        let baseline = maes.iter().sum::<f64>() / maes.len() as f64;
+        assert!(
+            bad_mae > baseline * 1.5,
+            "underfit holdout MAE {bad_mae} does not regress past baseline {baseline}"
+        );
+
+        // Feed the gauge values through the drift monitor exactly as
+        // /healthz would see them: healthy windows build the rolling
+        // baseline silently, the regressed window fires.
+        let mut mon = MonitorSet::refit_drift(8, 3, 0.5);
+        let snap_of = |mae: f64| Snapshot {
+            float_gauges: vec![("stream.refit_holdout_mae", mae)],
+            ..Snapshot::default()
+        };
+        for &mae in &maes {
+            let alerts = mon.evaluate(&snap_of(mae));
+            assert!(alerts.is_empty(), "healthy window fired: {alerts:?}");
+        }
+        let alerts = mon.evaluate(&snap_of(bad_mae));
+        assert_eq!(alerts.len(), 1, "drift monitor did not fire");
+        assert_eq!(alerts[0].rule, "stream-refit-mae-drift");
+        assert_eq!(alerts[0].value, bad_mae);
         let _ = std::fs::remove_dir_all(root);
     }
 

@@ -109,3 +109,76 @@ fn trees_and_their_codec_bytes_are_bit_identical_with_telemetry_on() {
         "telemetry changed compiled predictions"
     );
 }
+
+/// The PR-10 extension of the contract: the flight recorder, request
+/// sampling, and holdout publication are write-only too. Container
+/// bytes, refit trees, and their holdout MAEs are bit-identical with
+/// the whole observability stack armed.
+#[test]
+fn container_bytes_and_refits_bit_identical_with_flight_ring_armed() {
+    use pipeline::ArtifactStore;
+    use std::io::Cursor;
+    use stream::{run_stream, windowed_refit, FleetConfig, RefitConfig, StreamConfig};
+
+    let _guard = Guard::acquire();
+    let scfg = StreamConfig::new(FleetConfig::cpu2006(30, 8, 9))
+        .with_shards(2)
+        .with_chunk_rows(32);
+    let dir = std::env::temp_dir().join(format!("specrepro-obs-ring-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let seal = |tag: &str| -> Vec<u8> {
+        let path = dir.join(format!("{tag}.spdc"));
+        run_stream(&scfg, &path).expect("stream seals");
+        std::fs::read(&path).expect("container readable")
+    };
+    let refit_cfg = RefitConfig::new(120, M5Config::default().with_min_leaf(10));
+
+    let bytes_off = seal("off");
+    let store_off = ArtifactStore::open(dir.join("store-off"));
+    let mut reader = pipeline::chunked::ChunkedReader::open(Cursor::new(&bytes_off)).unwrap();
+    let fits_off = windowed_refit(&mut reader, &store_off, &refit_cfg).expect("refit");
+
+    obskit::set_enabled(true, true);
+    obskit::set_ring_enabled(true);
+    serve::set_trace_sample(1);
+    let bytes_on = seal("on");
+    let store_on = ArtifactStore::open(dir.join("store-on"));
+    let mut reader = pipeline::chunked::ChunkedReader::open(Cursor::new(&bytes_on)).unwrap();
+    let fits_on = windowed_refit(&mut reader, &store_on, &refit_cfg).expect("refit");
+    obskit::set_ring_enabled(false);
+    obskit::set_enabled(false, false);
+
+    assert_eq!(
+        bytes_off, bytes_on,
+        "the armed flight recorder changed sealed container bytes"
+    );
+    assert_eq!(fits_off.len(), fits_on.len());
+    for (off, on) in fits_off.iter().zip(&fits_on) {
+        assert_eq!(off.fingerprint, on.fingerprint, "window keys diverged");
+        assert_eq!(
+            codec::encode_tree(&off.tree),
+            codec::encode_tree(&on.tree),
+            "refit tree bytes diverged with the recorder armed"
+        );
+        match (&off.holdout, &on.holdout) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.mae.to_bits(), b.mae.to_bits(), "holdout MAE diverged");
+            }
+            (None, None) => {}
+            other => panic!("holdout presence diverged: {other:?}"),
+        }
+    }
+
+    // Non-vacuous: the armed pass actually recorded refit breadcrumbs.
+    let (events, _) = obskit::ring::snapshot_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == obskit::ring::FlightKind::RefitWindow),
+        "armed refit recorded no RefitWindow flight events"
+    );
+    obskit::ring::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}

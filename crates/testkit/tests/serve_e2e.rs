@@ -507,6 +507,184 @@ fn malformed_inputs_harden_but_do_not_kill_workers() {
 }
 
 #[test]
+fn healthz_versions_metrics_negotiation_and_flight_endpoint() {
+    let tree = fit(&synth_dataset(400, false));
+    let registry = Arc::new(ModelRegistry::new());
+    let version = registry.register_tree("cpu2006", &tree);
+    let server = Server::start(Arc::clone(&registry), ServerConfig::default()).expect("start");
+    let addr = server.addr().to_string();
+
+    // /healthz: liveness body stays exactly "ok\n" with the default
+    // (empty) monitor set; the headers carry the operational headline.
+    let (status, headers, body) = exchange(&addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+    assert_eq!(
+        headers.get("x-models").map(String::as_str),
+        Some(format!("cpu2006@{}", version.version).as_str()),
+        "X-Models must carry name@version fingerprints"
+    );
+    assert_eq!(
+        headers.get("x-monitors-firing").map(String::as_str),
+        Some("0")
+    );
+
+    // /metrics default: the JSON document, byte-compatible keys.
+    let (status, headers, body) = exchange(&addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json")
+    );
+    let doc: serde_json::Value = serde_json::from_slice(&body).expect("valid JSON");
+    assert!(doc.get("counters").is_some());
+    assert!(doc
+        .get("obs")
+        .and_then(|o| o.get("schema_version"))
+        .is_some());
+
+    // ?format=prom and an openmetrics Accept both negotiate the text
+    // exposition; ?format=json pins JSON even with that Accept.
+    for raw in [
+        b"GET /metrics?format=prom HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /metrics HTTP/1.1\r\nAccept: application/openmetrics-text\r\n\r\n".to_vec(),
+    ] {
+        let (status, headers, body) = exchange(&addr, &raw);
+        assert_eq!(status, 200);
+        assert_eq!(
+            headers.get("content-type").map(String::as_str),
+            Some(obskit::prom::CONTENT_TYPE)
+        );
+        let text = String::from_utf8(body).expect("UTF-8 exposition");
+        assert!(text.starts_with("# TYPE "), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+    let (status, headers, _) = exchange(
+        &addr,
+        b"GET /metrics?format=json HTTP/1.1\r\nAccept: application/openmetrics-text\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json")
+    );
+
+    // POST /debug/flight dumps the recorder ring; GET is a 405.
+    let (status, headers, body) = exchange(&addr, &post("/debug/flight", "", ""));
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json")
+    );
+    let dump: serde_json::Value = serde_json::from_slice(&body).expect("valid dump JSON");
+    assert!(matches!(
+        dump.get("events"),
+        Some(serde_json::Value::Array(_))
+    ));
+    let (status, _, _) = exchange(&addr, b"GET /debug/flight HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+/// The tracing acceptance test: one Chrome-trace export reconstructs a
+/// single request's whole path — parse, queue wait, batch membership,
+/// engine call, respond — by the request id the server echoed in
+/// `X-Request-Id`.
+#[test]
+fn traced_request_lifecycle_reconstructable_from_one_chrome_trace() {
+    let tree = fit(&synth_dataset(500, false));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_tree("cpu2006", &tree);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            coalescer: CoalescerConfig {
+                window: Duration::from_micros(100),
+                ..CoalescerConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr().to_string();
+
+    obskit::set_enabled(true, true);
+    obskit::set_ring_enabled(true);
+    serve::set_trace_sample(1);
+    let row = synth_dataset(1, false).sample(0).densities().to_vec();
+    let (status, headers, _) = exchange(&addr, &post("/predict", "", &dense_line(&row)));
+    obskit::set_enabled(false, false);
+    obskit::set_ring_enabled(false);
+
+    assert_eq!(status, 200);
+    let req_id = headers
+        .get("x-request-id")
+        .expect("sampled request echoes X-Request-Id")
+        .clone();
+
+    // One trace export; every lifecycle stage is findable by req_id.
+    let trace = obskit::export::trace_json();
+    let doc: serde_json::Value = serde_json::from_str(&trace).expect("valid trace JSON");
+    let Some(serde_json::Value::Array(events)) = doc.get("traceEvents") else {
+        panic!("trace has no traceEvents array");
+    };
+    let arg = |event: &serde_json::Value, key: &str| -> Option<String> {
+        event
+            .get("args")
+            .and_then(|a| a.get(key))
+            .and_then(serde_json::Value::as_str)
+            .map(str::to_string)
+    };
+    let names_with_id: Vec<String> = events
+        .iter()
+        .filter(|e| arg(e, "req_id").as_deref() == Some(req_id.as_str()))
+        .filter_map(|e| e.get("name").and_then(serde_json::Value::as_str))
+        .map(str::to_string)
+        .collect();
+    for stage in [
+        "serve.parse",
+        "serve.queue_wait",
+        "serve.respond",
+        "serve.request",
+    ] {
+        assert!(
+            names_with_id.iter().any(|n| n == stage),
+            "stage {stage} not found for request {req_id}; got {names_with_id:?}"
+        );
+    }
+    // Batch membership: the engine and batch spans list the request in
+    // their req_ids roster.
+    for stage in ["serve.engine", "serve.batch"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(serde_json::Value::as_str) == Some(stage)
+                    && arg(e, "req_ids").is_some_and(|ids| ids.split(',').any(|id| id == req_id))
+            }),
+            "stage {stage} does not roster request {req_id}"
+        );
+    }
+
+    // The flight recorder saw the same request enter and resolve.
+    let id: u64 = req_id.parse().expect("numeric request id");
+    let (ring_events, _) = obskit::ring::snapshot_events();
+    let kinds: Vec<obskit::ring::FlightKind> = ring_events
+        .iter()
+        .filter(|e| e.a == id)
+        .map(|e| e.kind)
+        .collect();
+    assert!(
+        kinds.contains(&obskit::ring::FlightKind::RequestSubmitted),
+        "{kinds:?}"
+    );
+    assert!(
+        kinds.contains(&obskit::ring::FlightKind::RequestResolved),
+        "{kinds:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_round_trip_and_shutdown() {
     let tree = fit(&synth_dataset(400, false));
     let registry = Arc::new(ModelRegistry::new());
